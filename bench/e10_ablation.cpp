@@ -1,0 +1,118 @@
+// E10 (ablation) — the design choices DESIGN.md calls out, each toggled
+// in isolation at a fixed noisy operating point:
+//
+//   A. self-interference handling off  (decode ignores own states)
+//   B. feedback self-gating off        (plain window average)
+//   C. Manchester feedback -> NRZ
+//   D. FM0 line code -> Manchester / NRZ on the data plane
+//   E. slicer hysteresis on
+#include <cstdio>
+#include <string>
+
+#include "sim/link_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fdb::sim::LinkSimConfig base_config() {
+  fdb::sim::LinkSimConfig config;
+  // Stress point: 1.5 m separation, 12-sample chips, noise placed so
+  // acquisition still works but bit decisions run at ~1% BER — margins
+  // small enough that each design choice shows up. (At the quickstart
+  // geometry every arm is error-free and the ablation shows nothing.)
+  config.modem = fdb::core::FdModemConfig::make(4, 12);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.a_to_b_m = 1.5;
+  config.noise_power_override_w = 4e-9;
+  config.seed = 123;
+  return config;
+}
+
+void run_arm(fdb::Table& table, const std::string& name,
+             fdb::sim::LinkSimConfig config) {
+  fdb::sim::LinkSimulator sim(config);
+  sim.set_payload_bytes(16);
+  const auto s = sim.run(50);
+  table.add_row({name, fdb::format_g(s.aligned_data_ber()),
+                 fdb::format_g(s.feedback_ber()),
+                 fdb::format_g(s.sync_failure_rate())});
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E10: design-choice ablations — data plane"
+            " (CW, static, 1.5 m, noise 4e-9 W, feedback active)");
+  fdb::Table table({"arm", "data_ber", "feedback_ber", "sync_fail"});
+
+  run_arm(table, "full design", base_config());
+
+  {
+    auto config = base_config();
+    config.modem.feedback.average = fdb::core::FeedbackAverage::kWindow;
+    run_arm(table, "no self-gating (B)", config);
+  }
+  {
+    auto config = base_config();
+    config.modem.feedback.coding = fdb::core::FeedbackCoding::kNrz;
+    run_arm(table, "NRZ feedback (C)", config);
+  }
+  {
+    auto config = base_config();
+    config.modem.data.line_code = fdb::phy::LineCode::kManchester;
+    run_arm(table, "Manchester data (D1)", config);
+  }
+  {
+    auto config = base_config();
+    config.modem.data.line_code = fdb::phy::LineCode::kNrz;
+    run_arm(table, "NRZ data (D2)", config);
+  }
+  {
+    auto config = base_config();
+    config.modem.data.slicer.hysteresis = 0.1f;
+    run_arm(table, "slicer hysteresis (E)", config);
+  }
+  {
+    auto config = base_config();
+    config.self_coupling = 0.0;  // idealised: no own-reflection at all
+    run_arm(table, "no self-coupling (ideal)", config);
+  }
+
+  table.print();
+
+  // The feedback plane's ablations need a harsher point (the slow
+  // stream's averaging hides them otherwise): push the devices apart
+  // and raise the noise, as in E3.
+  std::puts("\nE10b: feedback-plane ablations (2.5 m, noise 2e-8 W)");
+  fdb::Table fb_table({"arm", "data_ber", "feedback_ber", "sync_fail"});
+  auto stress = []() {
+    auto config = base_config();
+    config.modem = fdb::core::FdModemConfig::make(4, 6);
+    config.a_to_b_m = 2.5;
+    config.noise_power_override_w = 2e-8;
+    return config;
+  };
+  run_arm(fb_table, "full design", stress());
+  {
+    auto config = stress();
+    config.modem.feedback.average = fdb::core::FeedbackAverage::kWindow;
+    run_arm(fb_table, "no self-gating (B)", config);
+  }
+  {
+    auto config = stress();
+    config.modem.feedback.coding = fdb::core::FeedbackCoding::kNrz;
+    run_arm(fb_table, "NRZ feedback (C)", config);
+  }
+  fb_table.print();
+
+  std::puts("\nShape check: the full design matches the idealised"
+            " no-self-coupling arm on the data plane (normalisation"
+            " works) and keeps the feedback error-free at the stress"
+            " point where plain window averaging collapses; Manchester"
+            " data payloads mimic the alternating preamble and wreck"
+            " acquisition (FM0's boundary structure avoids this); the"
+            " hysteresis knob costs real margin at small swings and"
+            " earns its keep only on bursty envelopes.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E1 — Does concurrent feedback cost the data link anything, and how
+// does the cost shrink with rate asymmetry k?
+//
+// Sweep the block size (k = block bits, by construction of the schedule)
+// and measure the data-link BER with the feedback transmitter active vs
+// silent, plus the feedback link's own BER. Paper claim: once k is
+// large, the data BER curves coincide and the feedback stays reliable.
+#include <cstdio>
+
+#include "sim/link_budget.hpp"
+#include "sim/link_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fdb::sim::LinkSimConfig arm(std::size_t block_bytes, bool feedback) {
+  fdb::sim::LinkSimConfig config;
+  config.modem = fdb::core::FdModemConfig::make(block_bytes, 6);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.noise_power_override_w = 4e-9;  // mid-sweep operating point
+  config.feedback_active = feedback;
+  config.seed = 2024;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E1: data/feedback BER vs rate asymmetry k "
+            "(CW carrier, static channel, noise 4e-9 W)");
+  fdb::Table table({"block_bytes", "k_bits", "fb_rate_ratio",
+                    "data_ber_fb_on", "data_ber_fb_off", "feedback_ber",
+                    "fb_ber_theory"});
+  const std::size_t trials = 60;
+  for (const std::size_t block_bytes : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    const auto config_on = arm(block_bytes, true);
+    const auto config_off = arm(block_bytes, false);
+    fdb::sim::LinkSimulator sim_on(config_on);
+    fdb::sim::LinkSimulator sim_off(config_off);
+    sim_on.set_payload_bytes(4 * block_bytes);
+    sim_off.set_payload_bytes(4 * block_bytes);
+    const auto on = sim_on.run(trials);
+    const auto off = sim_off.run(trials);
+    const auto budget = fdb::sim::compute_link_budget(config_on);
+    const auto& rates = config_on.modem.data.rates;
+    table.add_row_numeric({static_cast<double>(block_bytes),
+                           static_cast<double>(rates.asymmetry),
+                           rates.data_rate_bps() / rates.feedback_rate_bps(),
+                           on.aligned_data_ber(), off.aligned_data_ber(),
+                           on.feedback_ber(),
+                           budget.predicted_feedback_ber});
+  }
+  table.print();
+  std::puts("\nShape check: data_ber_fb_on ~= data_ber_fb_off at every k;"
+            " feedback_ber falls as k grows.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E2 — Data-link BER vs backscatter distance, feedback on vs off, with
+// the analytic link-budget prediction alongside. Also reports the sync
+// (acquisition) failure rate, which limits range before bit decisions
+// do in any envelope-detection receiver.
+#include <cstdio>
+
+#include "sim/link_budget.hpp"
+#include "sim/link_sim.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fdb::sim::LinkSimConfig arm(double distance_m, bool feedback) {
+  fdb::sim::LinkSimConfig config;
+  config.modem = fdb::core::FdModemConfig::make(4, 6);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.noise_power_override_w = 1e-9;
+  config.a_to_b_m = distance_m;
+  config.feedback_active = feedback;
+  config.seed = 7;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E2: data BER vs device separation (CW, static, noise 1e-9 W)");
+  fdb::Table table({"distance_m", "ber_fb_on", "ber_fb_off", "ber_theory",
+                    "sync_fail_on", "false_sync_on", "harvest_uJ_frame"});
+  const std::size_t trials = 60;
+  for (const double d : fdb::sim::linspace(0.5, 4.0, 8)) {
+    const auto on_cfg = arm(d, true);
+    fdb::sim::LinkSimulator sim_on(on_cfg);
+    fdb::sim::LinkSimulator sim_off(arm(d, false));
+    sim_on.set_payload_bytes(16);
+    sim_off.set_payload_bytes(16);
+    const auto on = sim_on.run(trials);
+    const auto off = sim_off.run(trials);
+    const auto budget = fdb::sim::compute_link_budget(on_cfg);
+    table.add_row_numeric(
+        {d, on.aligned_data_ber(), off.aligned_data_ber(),
+         budget.predicted_data_ber, on.sync_failure_rate(),
+         static_cast<double>(on.false_syncs),
+         on.harvested_per_frame_j.mean() * 1e6});
+  }
+  table.print();
+  std::puts("\nShape check: BER rises with distance; fb_on tracks fb_off;"
+            " theory lower-bounds the measurement.");
+  return 0;
+}

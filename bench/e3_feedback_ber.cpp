@@ -1,0 +1,61 @@
+// E3 — Reliability of the feedback channel itself: BER of the slow
+// stream vs distance and vs the averaging mode / coding, decoded at the
+// data transmitter *through its own transmission*.
+#include <cstdio>
+
+#include "sim/link_budget.hpp"
+#include "sim/link_sim.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fdb::sim::LinkSimConfig arm(double distance_m,
+                            fdb::core::FeedbackAverage average,
+                            fdb::core::FeedbackCoding coding) {
+  fdb::sim::LinkSimConfig config;
+  config.modem = fdb::core::FdModemConfig::make(4, 6);
+  config.modem.feedback.average = average;
+  config.modem.feedback.coding = coding;
+  config.carrier = "cw";
+  config.fading = "static";
+  config.noise_power_override_w = 2e-8;  // stress the slow stream
+  config.a_to_b_m = distance_m;
+  config.seed = 31;
+  return config;
+}
+
+double measure(const fdb::sim::LinkSimConfig& config, std::size_t trials) {
+  fdb::sim::LinkSimulator sim(config);
+  sim.set_payload_bytes(16);
+  return sim.run(trials).feedback_ber();
+}
+
+}  // namespace
+
+int main() {
+  using fdb::core::FeedbackAverage;
+  using fdb::core::FeedbackCoding;
+  std::puts("E3: feedback BER vs distance, by averaging mode and coding"
+            " (CW, static, noise 2e-8 W)");
+  fdb::Table table({"distance_m", "manch_selfgated", "manch_window",
+                    "nrz_selfgated", "theory_manch"});
+  const std::size_t trials = 50;
+  for (const double d : fdb::sim::linspace(0.5, 3.0, 6)) {
+    const auto base = arm(d, FeedbackAverage::kSelfGated,
+                          FeedbackCoding::kManchester);
+    const auto budget = fdb::sim::compute_link_budget(base);
+    table.add_row_numeric(
+        {d, measure(base, trials),
+         measure(arm(d, FeedbackAverage::kWindow,
+                     FeedbackCoding::kManchester),
+                 trials),
+         measure(arm(d, FeedbackAverage::kSelfGated, FeedbackCoding::kNrz),
+                 trials),
+         budget.predicted_feedback_ber});
+  }
+  table.print();
+  std::puts("\nShape check: feedback BER grows with distance; self-gated"
+            " averaging is never worse than plain window averaging.");
+  return 0;
+}

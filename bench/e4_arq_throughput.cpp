@@ -1,0 +1,64 @@
+// E4 — The headline result: goodput of instant-feedback FD-ARQ vs the
+// half-duplex baselines as the channel BER rises, with the closed-form
+// models printed alongside. The paper's claim is a widening gap: at
+// BERs where almost every frame contains an error, per-block recovery
+// keeps the pipe full while whole-frame ARQ collapses.
+#include <cstdio>
+
+#include "core/theory.hpp"
+#include "mac/arq.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fdb::mac::ArqParams params() {
+  fdb::mac::ArqParams p;
+  p.payload_bytes = 256;
+  p.block_bytes = 8;
+  return p;
+}
+
+fdb::core::ArqModelParams model_params() {
+  const auto p = params();
+  fdb::core::ArqModelParams m;
+  m.payload_bits = p.payload_bytes * 8;
+  m.block_bits = p.block_bytes * 8;
+  m.block_overhead_bits = p.block_crc_bits;
+  m.frame_overhead_bits = p.frame_overhead_bits;
+  m.preamble_bits = p.preamble_bits;
+  m.ack_turnaround_bits = p.ack_turnaround_bits;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E4: goodput vs channel BER (256B frames, 8B blocks)");
+  fdb::Table table({"ber", "fd_instant", "stop_wait", "sel_repeat",
+                    "fd_model", "sw_model", "sr_model", "fd_gain_x"});
+  const std::size_t frames = 400;
+  for (const double ber : fdb::sim::logspace(1e-4, 3e-2, 9)) {
+    fdb::mac::IidBlockChannel ch_fd(ber, 0.0, fdb::Rng(1));
+    fdb::mac::IidBlockChannel ch_sw(ber, 0.0, fdb::Rng(1));
+    fdb::mac::IidBlockChannel ch_sr(ber, 0.0, fdb::Rng(1));
+    fdb::mac::FullDuplexInstantArq fd;
+    fdb::mac::StopAndWaitArq sw;
+    fdb::mac::SelectiveRepeatArq sr;
+    const auto p = params();
+    const double g_fd = fd.run(frames, ch_fd, p).goodput();
+    const double g_sw = sw.run(frames, ch_sw, p).goodput();
+    const double g_sr = sr.run(frames, ch_sr, p).goodput();
+    const auto m = model_params();
+    table.add_row_numeric(
+        {ber, g_fd, g_sw, g_sr, fdb::core::fd_arq_goodput(ber, 0.0, m),
+         fdb::core::stop_and_wait_goodput(ber, m),
+         fdb::core::selective_repeat_goodput(ber, m),
+         g_sw > 0 ? g_fd / g_sw : 0.0});
+  }
+  table.print();
+  std::puts("\nShape check: fd_instant degrades gently; stop_wait and"
+            " sel_repeat collapse near BER ~ 1/frame_bits; fd_gain_x"
+            " grows with BER.");
+  return 0;
+}

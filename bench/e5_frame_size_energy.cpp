@@ -1,0 +1,58 @@
+// E5 — Frame sizing and energy. Instant block-level feedback removes
+// the classic pressure to keep frames small on lossy links: FD-ARQ
+// goodput is nearly flat in frame size while stop-and-wait forces a
+// painful optimum. Energy per delivered bit (per-state tag power model)
+// follows airtime, so the same shape appears in joules.
+#include <cstdio>
+
+#include "energy/ledger.hpp"
+#include "mac/arq.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double energy_per_bit(const fdb::mac::ArqStats& stats, double bit_time_s) {
+  // The tag backscatters (or listens) for the whole airtime; idle
+  // otherwise. Energy per delivered payload bit in nanojoules.
+  fdb::energy::EnergyLedger ledger;
+  ledger.spend(fdb::energy::TagState::kBackscattering,
+               static_cast<double>(stats.airtime_bits) * bit_time_s);
+  return ledger.energy_per_bit_j(stats.payload_bits_delivered) * 1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E5: goodput and energy/bit vs frame size at BER 2e-3");
+  fdb::Table table({"frame_bytes", "fd_goodput", "sw_goodput",
+                    "fd_nJ_per_bit", "sw_nJ_per_bit", "fd_retx_frac"});
+  const double ber = 2e-3;
+  const double bit_time_s = 1.0 / 50e3;  // 50 kbps data stream
+  for (const std::size_t frame_bytes :
+       {32ul, 64ul, 128ul, 256ul, 512ul, 1024ul}) {
+    fdb::mac::ArqParams params;
+    params.payload_bytes = frame_bytes;
+    params.block_bytes = 8;
+    params.max_attempts = 200;
+    fdb::mac::IidBlockChannel ch_fd(ber, 0.0, fdb::Rng(5));
+    fdb::mac::IidBlockChannel ch_sw(ber, 0.0, fdb::Rng(5));
+    fdb::mac::FullDuplexInstantArq fd;
+    fdb::mac::StopAndWaitArq sw;
+    const std::size_t frames = 40000 / frame_bytes + 20;
+    const auto fd_stats = fd.run(frames, ch_fd, params);
+    const auto sw_stats = sw.run(frames, ch_sw, params);
+    table.add_row_numeric(
+        {static_cast<double>(frame_bytes), fd_stats.goodput(),
+         sw_stats.goodput(), energy_per_bit(fd_stats, bit_time_s),
+         energy_per_bit(sw_stats, bit_time_s),
+         fd_stats.blocks_sent
+             ? static_cast<double>(fd_stats.blocks_retransmitted) /
+                   static_cast<double>(fd_stats.blocks_sent)
+             : 0.0});
+  }
+  table.print();
+  std::puts("\nShape check: fd_goodput flat (slightly rising) in frame"
+            " size; sw_goodput collapses for large frames; energy/bit"
+            " mirrors goodput inversely.");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E6 — Collision handling. Full-duplex feedback lets the receiver shout
+// "collision!" within a couple of block-times; timeout MACs burn the
+// whole frame plus the ACK wait before anyone notices. Sweep contention.
+#include <cstdio>
+
+#include "mac/collision.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::puts("E6: contention — timeout MAC vs full-duplex collision"
+            " notification (32-block frames, saturated tags)");
+  fdb::Table table({"tags", "waste_timeout", "waste_notify", "goodput_timeout",
+                    "goodput_notify", "latency_timeout", "latency_notify"});
+  for (const std::size_t tags : {1ul, 2ul, 4ul, 6ul, 8ul, 12ul}) {
+    fdb::mac::CollisionSimParams params;
+    params.num_tags = tags;
+    params.sim_slots = 300000;
+    params.seed = 11;
+    const auto timeout =
+        fdb::mac::run_collision_sim(fdb::mac::MacKind::kTimeout, params);
+    const auto notify = fdb::mac::run_collision_sim(
+        fdb::mac::MacKind::kCollisionNotify, params);
+    table.add_row_numeric({static_cast<double>(tags),
+                           timeout.wasted_airtime_fraction(),
+                           notify.wasted_airtime_fraction(),
+                           timeout.goodput_slots_fraction(),
+                           notify.goodput_slots_fraction(),
+                           timeout.mean_delivery_latency(),
+                           notify.mean_delivery_latency()});
+  }
+  table.print();
+  std::puts("\nShape check: wasted airtime grows with contention for both"
+            " MACs but stays far lower with notification; goodput and"
+            " latency follow.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E7 — Carrier realism. CW illumination is the easy case: flat
+// envelope, every chip visible. A TV-style OFDM carrier fluctuates per
+// sample, so decoding needs real averaging; fading stresses acquisition.
+// The design claim: the same receiver survives all arms, trading rate
+// (samples per chip) for robustness.
+#include <cstdio>
+#include <string>
+
+#include "sim/link_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fdb::sim::LinkSimConfig arm(const std::string& carrier,
+                            const std::string& fading,
+                            std::size_t samples_per_chip) {
+  fdb::sim::LinkSimConfig config;
+  config.modem = fdb::core::FdModemConfig::make(4, samples_per_chip);
+  config.carrier = carrier;
+  config.fading = fading;
+  config.noise_power_override_w = 1e-10;
+  config.seed = 99;
+  if (carrier == "ofdm_tv") {
+    // Ambient-carrier operation is a short-range regime: the original
+    // ambient-backscatter demos put devices inches to a couple of feet
+    // apart, where the relative envelope swing reaches tens of percent.
+    // Use that geometry here (15 cm separation, sub-metre path-loss
+    // reference) so the OFDM arm exercises its intended operating point.
+    config.pathloss.reference_distance_m = 0.1;
+    config.pathloss.reference_loss_db = 10.0;
+    config.a_to_b_m = 0.15;
+  }
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E7: carrier/fading robustness vs chip length");
+  fdb::Table table({"carrier", "fading", "samples_per_chip", "data_rate_kbps",
+                    "data_ber", "sync_fail", "feedback_ber"});
+  for (const auto& carrier : {std::string("cw"), std::string("ofdm_tv")}) {
+    for (const auto& fading :
+         {std::string("static"), std::string("rayleigh")}) {
+      // CW has a flat envelope and decodes at short chips; the OFDM
+      // carrier fluctuates per-sample and needs far more averaging —
+      // the sweep shows where each becomes viable.
+      const std::vector<std::size_t> chip_lengths =
+          carrier == "cw" ? std::vector<std::size_t>{6, 20, 60}
+                          : std::vector<std::size_t>{60, 200, 600};
+      for (const std::size_t spc : chip_lengths) {
+        const std::size_t trials = spc >= 200 ? 15 : 40;
+        const auto config = arm(carrier, fading, spc);
+        fdb::sim::LinkSimulator sim(config);
+        sim.set_payload_bytes(12);
+        const auto s = sim.run(trials);
+        table.add_row({carrier, fading, std::to_string(spc),
+                       fdb::format_g(
+                           config.modem.data.rates.data_rate_bps() / 1e3),
+                       fdb::format_g(s.data_ber()),
+                       fdb::format_g(s.sync_failure_rate()),
+                       fdb::format_g(s.feedback_ber())});
+      }
+    }
+  }
+  table.print();
+  std::puts("\nShape check: CW decodes at every rate; OFDM needs longer"
+            " chips (lower rate) to average its envelope fluctuation;"
+            " Rayleigh adds residual frame losses at any rate.");
+  return 0;
+}

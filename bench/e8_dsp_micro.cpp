@@ -1,0 +1,199 @@
+// E8 — Feasibility table: throughput of each receive-chain stage in
+// samples (or chips) per second. A microcontroller-class decoder needs
+// the whole chain to clear the ADC rate with a large margin; these
+// numbers also put a floor under the flowgraph engine's overhead.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/feedback.hpp"
+#include "core/self_interference.hpp"
+#include "dsp/correlator.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/moving_average.hpp"
+#include "flowgraph/blocks_std.hpp"
+#include "flowgraph/graph.hpp"
+#include "phy/modem.hpp"
+#include "phy/preamble.hpp"
+#include "phy/slicer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<fdb::cf32> random_iq(std::size_t n, std::uint64_t seed) {
+  fdb::Rng rng(seed);
+  std::vector<fdb::cf32> samples(n);
+  for (auto& s : samples) s = rng.cn(1.0);
+  return samples;
+}
+
+std::vector<float> random_envelope(std::size_t n, std::uint64_t seed) {
+  fdb::Rng rng(seed);
+  std::vector<float> samples(n);
+  for (auto& s : samples) {
+    s = 1.0f + 0.1f * static_cast<float>(rng.uniform());
+  }
+  return samples;
+}
+
+void BM_EnvelopeDetector(benchmark::State& state) {
+  const auto iq = random_iq(4096, 1);
+  fdb::dsp::EnvelopeDetector detector(100e3, 2e6);
+  std::vector<float> out(iq.size());
+  for (auto _ : state) {
+    detector.process(iq, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(iq.size()));
+}
+BENCHMARK(BM_EnvelopeDetector);
+
+void BM_MovingAverage(benchmark::State& state) {
+  const auto env = random_envelope(4096, 2);
+  fdb::dsp::MovingAverage<float> avg(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (const float x : env) acc += avg.process(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_MovingAverage)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Fir(benchmark::State& state) {
+  const auto env = random_envelope(4096, 3);
+  fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(
+      0.2, static_cast<std::size_t>(state.range(0))));
+  std::vector<float> out(env.size());
+  for (auto _ : state) {
+    fir.process(env, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_Fir)->Arg(15)->Arg(63);
+
+void BM_SlidingCorrelator(benchmark::State& state) {
+  const auto env = random_envelope(4096, 4);
+  fdb::dsp::SlidingCorrelator corr(
+      fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (const float x : env) acc += corr.process(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_SlidingCorrelator);
+
+void BM_IntegrateSliceChain(benchmark::State& state) {
+  const auto env = random_envelope(4096, 5);
+  fdb::phy::IntegrateAndDump integrator(6);
+  fdb::phy::AdaptiveSlicer slicer;
+  for (auto _ : state) {
+    std::vector<float> chips;
+    integrator.process(env, chips);
+    std::vector<std::uint8_t> bits;
+    slicer.process(chips, bits);
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_IntegrateSliceChain);
+
+void BM_SelfInterferenceNormalizer(benchmark::State& state) {
+  const auto env = random_envelope(4096, 6);
+  std::vector<std::uint8_t> states(env.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i] = (i / 480) % 2;
+  }
+  std::vector<float> out(env.size());
+  for (auto _ : state) {
+    fdb::core::SelfInterferenceNormalizer::normalize_batch(env, states, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_SelfInterferenceNormalizer);
+
+void BM_FeedbackDecode(benchmark::State& state) {
+  fdb::phy::RateConfig rates;
+  rates.samples_per_chip = 6;
+  rates.asymmetry = 40;
+  const fdb::core::FeedbackConfig config;
+  fdb::core::FeedbackDecoder decoder(rates, config);
+  const auto env = random_envelope(rates.samples_per_feedback_bit() * 8, 7);
+  std::vector<std::uint8_t> own(env.size());
+  for (std::size_t i = 0; i < own.size(); ++i) own[i] = (i / 12) % 2;
+  for (auto _ : state) {
+    const auto result = decoder.decode(env, own, 8);
+    benchmark::DoNotOptimize(result.bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_FeedbackDecode);
+
+void BM_Fft(benchmark::State& state) {
+  auto data = random_iq(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    fdb::dsp::fft(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(4096);
+
+void BM_FullFrameDecode(benchmark::State& state) {
+  // Whole receive chain: sync + slice + FM0 + deframe of a 32B frame.
+  fdb::phy::ModemConfig config;
+  config.rates.samples_per_chip = 6;
+  fdb::phy::BackscatterTx tx(config);
+  fdb::phy::BackscatterRx rx(config);
+  std::vector<std::uint8_t> payload(32, 0x5A);
+  const auto states = tx.modulate_frame(payload);
+  std::vector<float> env;
+  env.insert(env.end(), 100, 1.0f);
+  for (const auto s : states) env.push_back(s ? 1.3f : 1.0f);
+  env.insert(env.end(), 100, 1.0f);
+  for (auto _ : state) {
+    const auto result = rx.demodulate_frame(env);
+    benchmark::DoNotOptimize(result.payload.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env.size()));
+}
+BENCHMARK(BM_FullFrameDecode);
+
+void BM_FlowgraphThroughput(benchmark::State& state) {
+  // Engine overhead: source -> moving average -> null sink.
+  for (auto _ : state) {
+    fdb::fg::Graph graph;
+    auto source = std::make_shared<fdb::fg::VectorSourceF>(
+        std::vector<float>(65536, 1.0f));
+    auto avg = std::make_shared<fdb::fg::MovingAverageBlockF>(32);
+    auto sink = std::make_shared<fdb::fg::NullSinkF>();
+    const auto s = graph.add(source);
+    const auto a = graph.add(avg);
+    const auto k = graph.add(sink);
+    graph.connect(s, 0, a, 0);
+    graph.connect(a, 0, k, 0);
+    graph.run();
+    benchmark::DoNotOptimize(sink->consumed());
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_FlowgraphThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

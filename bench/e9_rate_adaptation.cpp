@@ -1,0 +1,117 @@
+// E9 (extension) — Rate adaptation on instant feedback. A time-varying
+// channel alternates good and bad periods of fixed wall-clock length;
+// every scheme transmits continuously and is scored on payload bits
+// delivered per period. The adaptive controller walks the chip-length
+// ladder using per-block verdicts; the oracle always uses the rung that
+// delivers the most bits for the current state.
+#include <cstdio>
+#include <vector>
+
+#include "core/rate_adaptation.hpp"
+#include "core/theory.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct ChannelState {
+  double delta;  // envelope swing
+  double sigma;  // per-sample envelope noise
+};
+
+double bler(const ChannelState& s, std::size_t spc, std::size_t block_bits) {
+  const double chip_ber = fdb::core::ook_envelope_ber(s.delta, s.sigma, spc);
+  return fdb::core::block_error_rate(2.0 * chip_ber, block_bits);
+}
+
+/// Expected delivered bits per sample of airtime at this rung/state.
+double expected_rate(const ChannelState& s, std::size_t spc,
+                     std::size_t block_bits) {
+  return (1.0 - bler(s, spc, block_bits)) / static_cast<double>(spc);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E9: adaptive vs fixed chip length, wall-clock-fair"
+            " (good: swing .08, bad: swing .04; sigma .05)");
+  const ChannelState good{0.08, 0.05};
+  const ChannelState bad{0.04, 0.05};
+  const std::size_t block_bits = 72;
+  const std::vector<std::size_t> ladder = {4, 8, 16, 32, 64};
+  const std::size_t period_samples = 4'000'000;
+  const std::size_t periods = 20;
+
+  // One run of a transmit policy over the whole walk. The policy is a
+  // callback giving the chip length for the next block; verdicts are
+  // reported back for adaptive policies.
+  auto run_policy = [&](auto&& next_spc, auto&& report) -> double {
+    fdb::Rng rng(17);
+    double delivered = 0.0;
+    for (std::size_t period = 0; period < periods; ++period) {
+      const ChannelState& state = period % 2 == 0 ? good : bad;
+      std::size_t t = 0;
+      while (t < period_samples) {
+        const std::size_t spc = next_spc(state);
+        const bool ok = !rng.chance(bler(state, spc, block_bits));
+        report(ok);
+        delivered += ok ? static_cast<double>(block_bits) : 0.0;
+        t += spc * block_bits;
+      }
+    }
+    return delivered / static_cast<double>(periods * period_samples);
+  };
+  auto no_report = [](bool) {};
+
+  fdb::Table table({"scheme", "bits_per_sample", "fraction_of_oracle"});
+
+  // Oracle: per-state best rung by expected delivered rate.
+  const double oracle = run_policy(
+      [&](const ChannelState& s) {
+        std::size_t best = 0;
+        for (std::size_t r = 1; r < ladder.size(); ++r) {
+          if (expected_rate(s, ladder[r], block_bits) >
+              expected_rate(s, ladder[best], block_bits)) {
+            best = r;
+          }
+        }
+        return ladder[best];
+      },
+      no_report);
+
+  // Adaptive controller (does not see the state, only verdicts).
+  // Larger window + stricter upshift gate than the defaults: probing a
+  // faster rate costs a dwell's worth of mostly-lost blocks, so the
+  // evidence bar for "channel got better" should be high.
+  fdb::core::RateAdaptConfig config;
+  config.chip_ladder = ladder;
+  config.window_blocks = 64;
+  config.min_dwell_blocks = 64;
+  config.upshift_below = 0.01;
+  config.initial_rung = 2;
+  fdb::core::RateController controller(config);
+  const double adaptive = run_policy(
+      [&](const ChannelState&) { return controller.samples_per_chip(); },
+      [&](bool ok) { controller.on_block_verdict(ok); });
+
+  table.add_row({"oracle", fdb::format_g(oracle), "1"});
+  table.add_row({"adaptive", fdb::format_g(adaptive),
+                 fdb::format_g(adaptive / oracle)});
+  for (const std::size_t spc : ladder) {
+    const double fixed = run_policy(
+        [&](const ChannelState&) { return spc; }, no_report);
+    table.add_row({"fixed_spc" + std::to_string(spc),
+                   fdb::format_g(fixed), fdb::format_g(fixed / oracle)});
+  }
+  table.print();
+  std::printf("\ncontroller: %llu upshifts, %llu downshifts over %zu"
+              " channel periods\n",
+              static_cast<unsigned long long>(controller.upshifts()),
+              static_cast<unsigned long long>(controller.downshifts()),
+              periods);
+  std::puts("Shape check: adaptive approaches the oracle without knowing"
+            " the channel, and no single fixed rate does as well across"
+            " both states: fast rungs deliver nothing in bad periods,"
+            " slow rungs squander good ones.");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Scenario: a checkout lane of battery-free price tags all want to
+// talk at once. The demo compares the timeout MAC (collisions found by
+// silence) with the full-duplex MAC (receiver notifies colliders within
+// two block-times) as the lane gets busier.
+#include <cstdio>
+
+#include "mac/collision.hpp"
+
+int main() {
+  std::puts("Checkout-lane contention: timeout MAC vs FD collision"
+            " notification\n");
+  std::printf("%5s  %22s  %22s\n", "tags", "timeout (waste/goodput)",
+              "notify (waste/goodput)");
+  for (const std::size_t tags : {2ul, 4ul, 8ul}) {
+    fdb::mac::CollisionSimParams params;
+    params.num_tags = tags;
+    params.sim_slots = 200000;
+    params.seed = 5;
+    const auto timeout =
+        fdb::mac::run_collision_sim(fdb::mac::MacKind::kTimeout, params);
+    const auto notify = fdb::mac::run_collision_sim(
+        fdb::mac::MacKind::kCollisionNotify, params);
+    std::printf("%5zu  %10.3f / %-9.3f  %10.3f / %-9.3f\n", tags,
+                timeout.wasted_airtime_fraction(),
+                timeout.goodput_slots_fraction(),
+                notify.wasted_airtime_fraction(),
+                notify.goodput_slots_fraction());
+  }
+  std::puts("\nWith notification, a collision costs ~2 block-times instead"
+            " of a\nwhole frame plus timeout — the channel stays usable even"
+            " when busy.");
+  return 0;
+}

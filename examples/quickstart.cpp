@@ -1,0 +1,63 @@
+// Quickstart: one full-duplex backscatter exchange, end to end.
+//
+//   1. Device A modulates a payload onto its RF switch (no radio!).
+//   2. The sample-level channel carries it past ambient illumination.
+//   3. Device B decodes the data *while* backscattering feedback.
+//   4. Device A reads the feedback through its own transmission.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "sim/link_budget.hpp"
+#include "sim/link_sim.hpp"
+
+int main() {
+  // A link: ambient TV tower 5 m away, devices 1 m apart, CW carrier.
+  fdb::sim::LinkSimConfig config;
+  config.modem = fdb::core::FdModemConfig::make(/*block_size_bytes=*/8,
+                                                /*samples_per_chip=*/20);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.a_to_b_m = 1.0;
+  config.seed = 1;
+
+  const auto budget = fdb::sim::compute_link_budget(config);
+  std::printf("Link budget:\n");
+  std::printf("  incident RF at B       : %.3g uW\n",
+              budget.incident_at_b_w * 1e6);
+  std::printf("  envelope swing at B    : %.3g (data)\n",
+              budget.delta_env_at_b);
+  std::printf("  envelope swing at A    : %.3g (feedback)\n",
+              budget.delta_env_at_a);
+  std::printf("  harvest rate at B      : %.3g uW\n",
+              budget.harvested_per_second_j * 1e6);
+
+  const auto& rates = config.modem.data.rates;
+  std::printf("Rates: data %.1f kbps, feedback %.1f bps (asymmetry %zu)\n",
+              rates.data_rate_bps() / 1e3, rates.feedback_rate_bps(),
+              rates.asymmetry);
+
+  fdb::sim::LinkSimulator sim(config);
+  sim.set_payload_bytes(64);
+  const auto trial = sim.run_trial();
+
+  std::printf("\nOne frame exchange (64-byte payload, 8 blocks):\n");
+  std::printf("  sync acquired          : %s (corr %.2f)\n",
+              trial.sync_ok ? "yes" : "no", trial.sync_corr);
+  std::printf("  data bits              : %zu, errors %zu\n",
+              trial.data_bits, trial.data_bit_errors);
+  std::printf("  block verdicts         : ");
+  for (const bool ok : trial.block_ok) std::printf("%c", ok ? '+' : 'x');
+  std::printf("\n");
+  std::printf("  feedback bits decoded  : %zu, errors %zu\n",
+              trial.feedback_bits, trial.feedback_bit_errors);
+  std::printf("  energy harvested at B  : %.3g uJ\n",
+              trial.harvested_j * 1e6);
+
+  const auto summary = sim.run(20);
+  std::printf("\n20 more frames: data BER %.2g, feedback BER %.2g,"
+              " sync failures %llu\n",
+              summary.data_ber(), summary.feedback_ber(),
+              static_cast<unsigned long long>(summary.sync_failures));
+  return 0;
+}

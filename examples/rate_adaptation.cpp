@@ -1,0 +1,62 @@
+// Scenario: a wearable tag walks through a building; its channel to the
+// reader alternates between good and bad. Instantaneous per-block
+// feedback lets the transmitter's rate controller react within tens of
+// blocks — watch it ride the chip-length ladder.
+#include <cstdio>
+
+#include "core/rate_adaptation.hpp"
+#include "core/theory.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  std::puts("Rate adaptation on instantaneous feedback\n");
+
+  fdb::core::RateAdaptConfig config;
+  config.chip_ladder = {4, 8, 16, 32, 64};
+  config.window_blocks = 24;
+  config.min_dwell_blocks = 32;
+  config.initial_rung = 2;
+  fdb::core::RateController controller(config);
+
+  fdb::Rng rng(9);
+  const std::size_t block_bits = 72;
+
+  struct Phase {
+    const char* name;
+    double delta;
+    std::size_t blocks;
+  };
+  const Phase walk[] = {
+      {"desk (good)", 0.10, 400},
+      {"hallway (fair)", 0.05, 400},
+      {"stairwell (bad)", 0.025, 400},
+      {"lab (good)", 0.10, 400},
+  };
+
+  std::printf("%-18s %-10s %-12s %-10s\n", "phase", "chip_len",
+              "loss_window", "rate_kbps");
+  for (const auto& phase : walk) {
+    for (std::size_t b = 0; b < phase.blocks; ++b) {
+      const double chip_ber = fdb::core::ook_envelope_ber(
+          phase.delta, 0.05, controller.samples_per_chip());
+      const double bler =
+          fdb::core::block_error_rate(2.0 * chip_ber, block_bits);
+      controller.on_block_verdict(!rng.chance(bler));
+      if (b % 100 == 99) {
+        // 2 MHz sample rate, 2 chips/bit.
+        const double rate_kbps =
+            2e6 / (2.0 * controller.samples_per_chip()) / 1e3;
+        std::printf("%-18s %-10zu %-12.3f %-10.1f\n", phase.name,
+                    controller.samples_per_chip(),
+                    controller.window_loss_rate(), rate_kbps);
+      }
+    }
+  }
+  std::printf("\ntotal: %llu upshifts, %llu downshifts\n",
+              static_cast<unsigned long long>(controller.upshifts()),
+              static_cast<unsigned long long>(controller.downshifts()));
+  std::puts("The controller converges within ~1 window per phase change —"
+            " block-scale\nreaction that half-duplex feedback (one verdict"
+            " per frame exchange) cannot match.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Scenario: a battery-free sensor streams readings to a nearby reader
+// over a lossy backscatter link. With instantaneous feedback, only
+// corrupted blocks are re-sent inside the same burst; the conventional
+// design re-sends whole frames after a timeout. The example couples the
+// sample-level PHY (for the measured error process) to both link-layer
+// engines and prints the delivery report + energy bill.
+#include <cstdio>
+
+#include "energy/ledger.hpp"
+#include "mac/arq.hpp"
+#include "mac/block_channel.hpp"
+#include "sim/link_sim.hpp"
+
+namespace {
+
+// Records per-block verdicts from the PHY simulation into a trace the
+// ARQ engines can replay.
+fdb::mac::TraceBlockChannel record(const fdb::sim::LinkSimConfig& config,
+                                   std::size_t frames,
+                                   std::size_t payload_bytes) {
+  fdb::sim::LinkSimulator sim(config);
+  sim.set_payload_bytes(payload_bytes);
+  fdb::mac::TraceBlockChannel trace;
+  const std::size_t blocks_per_frame =
+      payload_bytes / config.modem.block_size_bytes;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto trial = sim.run_trial();
+    for (std::size_t b = 0; b < blocks_per_frame; ++b) {
+      const bool corrupted =
+          !trial.sync_ok || b >= trial.block_ok.size() || !trial.block_ok[b];
+      trace.push_block_verdict(corrupted);
+      trace.push_feedback_flip(b < trial.feedback_bit_errors);
+    }
+  }
+  return trace;
+}
+
+void report(const char* name, const fdb::mac::ArqStats& stats,
+            double bit_time_s) {
+  fdb::energy::EnergyLedger ledger;
+  ledger.spend(fdb::energy::TagState::kBackscattering,
+               static_cast<double>(stats.airtime_bits) * bit_time_s);
+  std::printf("  %-12s goodput %.3f  frames %llu/%llu  retx-blocks %llu"
+              "  energy %.1f pJ/bit\n",
+              name, stats.goodput(),
+              static_cast<unsigned long long>(stats.frames_delivered),
+              static_cast<unsigned long long>(stats.frames_attempted),
+              static_cast<unsigned long long>(stats.blocks_retransmitted),
+              ledger.energy_per_bit_j(stats.payload_bits_delivered) * 1e12);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Sensor streaming over a noisy backscatter link");
+  std::puts("(64-byte readings, 4-byte blocks, measured PHY error trace)\n");
+
+  fdb::sim::LinkSimConfig config;
+  config.modem = fdb::core::FdModemConfig::make(4, 6);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.noise_power_override_w = 5e-9;  // a marginal link on purpose
+  config.seed = 3;
+
+  const std::size_t frames = 60;
+  const std::size_t payload = 64;
+  fdb::mac::ArqParams params;
+  params.payload_bytes = payload;
+  params.block_bytes = config.modem.block_size_bytes;
+
+  const double bit_time_s =
+      1.0 / config.modem.data.rates.data_rate_bps();
+
+  auto fd_trace = record(config, frames, payload);
+  auto sw_trace = record(config, frames, payload);
+
+  fdb::mac::FullDuplexInstantArq fd;
+  fdb::mac::StopAndWaitArq sw;
+  std::puts("Delivery report:");
+  report("fd-instant", fd.run(frames, fd_trace, params), bit_time_s);
+  report("stop-wait", sw.run(frames, sw_trace, params), bit_time_s);
+
+  std::puts("\nThe instant-NACK engine repairs corrupted blocks inside the"
+            " burst;\nthe stop-and-wait baseline re-sends whole frames and"
+            " pays a turnaround\nevery time, which shows up directly in"
+            " energy per delivered bit.");
+  return 0;
+}

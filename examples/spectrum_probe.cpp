@@ -1,0 +1,67 @@
+// Flowgraph demo: wire the GNU-Radio-style engine into a small receive
+// chain — ambient OFDM source -> envelope detector -> moving average ->
+// stats probe — and print what a tag's detector actually sees, plus the
+// carrier's power spectrum.
+#include <cstdio>
+#include <memory>
+
+#include "channel/ambient_source.hpp"
+#include "dsp/fft.hpp"
+#include "flowgraph/blocks_std.hpp"
+#include "flowgraph/graph.hpp"
+
+int main() {
+  using namespace fdb;
+
+  // Generate 64k samples of the TV-style carrier.
+  channel::OfdmTvSource source({.fft_size = 256, .cp_len = 32,
+                                .occupancy = 0.8, .seed = 42});
+  std::vector<cf32> carrier;
+  source.generate(65536, carrier);
+
+  // Spectrum of the first 4096 samples.
+  const auto spectrum = dsp::power_spectrum(
+      std::span<const cf32>(carrier.data(), 4096));
+  double occupied = 0.0;
+  double peak = 0.0;
+  for (const float bin : spectrum) {
+    if (bin > 1e-6) occupied += 1.0;
+    peak = std::max(peak, static_cast<double>(bin));
+  }
+  std::printf("Carrier spectrum: %.0f%% of bins occupied, peak bin %.3g\n",
+              100.0 * occupied / static_cast<double>(spectrum.size()), peak);
+
+  // Flowgraph: carrier -> envelope -> moving average -> stats probe.
+  fg::Graph graph;
+  auto src = std::make_shared<fg::VectorSourceC>(carrier);
+  auto env = std::make_shared<fg::EnvelopeBlock>(400e3, 2e6);
+  auto avg = std::make_shared<fg::MovingAverageBlockF>(64);
+  auto avg_probe = std::make_shared<fg::ProbeStatsF>();
+
+  const auto i_src = graph.add(src);
+  const auto i_env = graph.add(env);
+  const auto i_avg = graph.add(avg);
+  const auto i_p2 = graph.add(avg_probe);
+  graph.connect(i_src, 0, i_env, 0);
+  graph.connect(i_env, 0, i_avg, 0);
+  graph.connect(i_avg, 0, i_p2, 0);
+  graph.run();
+
+  dsp::EnvelopeDetector direct(400e3, 2e6);
+  RunningStats raw_stats;
+  for (const cf32 s : carrier) raw_stats.add(direct.process(s));
+
+  const auto& smooth = avg_probe->stats();
+  std::printf("Envelope, raw      : mean %.3f  stddev %.3f"
+              "  (fluctuation %.0f%%)\n",
+              raw_stats.mean(), raw_stats.stddev(),
+              100.0 * raw_stats.stddev() / raw_stats.mean());
+  std::printf("Envelope, averaged : mean %.3f  stddev %.3f"
+              "  (fluctuation %.0f%%)\n",
+              smooth.mean(), smooth.stddev(),
+              100.0 * smooth.stddev() / smooth.mean());
+  std::puts("\nThis is why ambient backscatter integrates many samples per"
+            " chip:\nthe raw OFDM envelope swings wildly, the averaged one"
+            " is stable\nenough to slice a 1-2% backscatter swing on top.");
+  return 0;
+}

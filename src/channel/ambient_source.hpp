@@ -1,0 +1,91 @@
+// Ambient RF carriers. The HotNets'13 system piggybacks on signals that
+// already exist (TV broadcast); the repo substitutes synthetic sources
+// with the same envelope statistics (see DESIGN.md substitution table):
+//
+//  * CwSource     — unmodulated constant-envelope carrier. The easy case:
+//                   the envelope is flat, so backscatter bits are directly
+//                   visible. Used as an ablation arm in E7.
+//  * OfdmTvSource — wideband OFDM with random QPSK subcarriers and cyclic
+//                   prefix, DVB-like. Its envelope fluctuates on a
+//                   per-sample basis, which is precisely why ambient
+//                   backscatter receivers must average over many samples
+//                   per bit. This is the realistic arm.
+//
+// Sources emit unit-average-power complex baseband; the scene scales by
+// transmit power and path gain.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fdb::channel {
+
+class AmbientSource {
+ public:
+  virtual ~AmbientSource() = default;
+
+  /// Produces the next n baseband samples (unit average power).
+  virtual void generate(std::size_t n, std::vector<cf32>& out) = 0;
+
+  /// Restarts the source deterministically.
+  virtual void reset() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Constant-envelope carrier with optional slow phase drift, modelling a
+/// CW illuminator (e.g. a dedicated reader transmitting a tone).
+class CwSource final : public AmbientSource {
+ public:
+  /// `phase_drift_rad_per_sample` models oscillator drift; 0 = ideal.
+  explicit CwSource(double phase_drift_rad_per_sample = 0.0);
+
+  void generate(std::size_t n, std::vector<cf32>& out) override;
+  void reset() override;
+  const char* name() const override { return "cw"; }
+
+ private:
+  double drift_;
+  double phase_ = 0.0;
+};
+
+/// Parameters of the synthetic TV-style OFDM carrier.
+struct OfdmParams {
+  std::size_t fft_size = 256;      // subcarriers per symbol
+  std::size_t cp_len = 32;         // cyclic prefix samples
+  double occupancy = 0.8;          // fraction of subcarriers active
+  std::uint64_t seed = 1;          // payload randomness
+};
+
+class OfdmTvSource final : public AmbientSource {
+ public:
+  explicit OfdmTvSource(OfdmParams params);
+
+  void generate(std::size_t n, std::vector<cf32>& out) override;
+  void reset() override;
+  const char* name() const override { return "ofdm_tv"; }
+
+  const OfdmParams& params() const { return params_; }
+
+ private:
+  void make_symbol();
+
+  OfdmParams params_;
+  Rng rng_;
+  std::vector<bool> active_;      // subcarrier occupancy mask
+  std::vector<cf32> symbol_;      // current time-domain symbol incl. CP
+  std::size_t pos_ = 0;
+  float norm_ = 1.0f;
+};
+
+/// Factory used by benches to select the carrier arm by name
+/// ("cw" | "ofdm_tv").
+std::unique_ptr<AmbientSource> make_ambient_source(const std::string& kind,
+                                                   std::uint64_t seed);
+
+}  // namespace fdb::channel

@@ -1,0 +1,54 @@
+// The backscatter antenna model. A tag communicates by switching its
+// antenna load between two impedances; the antenna then reflects a
+// state-dependent fraction of the incident wave. No oscillator, no DAC:
+// the "transmitter" is a single RF switch, which is what makes the
+// full-duplex trick nearly free on the feedback side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace fdb::channel {
+
+/// Complex reflection coefficients of the two switch states.
+struct ReflectionStates {
+  cf32 gamma_absorb{0.0f, 0.0f};   // state 0: matched load, absorb
+  cf32 gamma_reflect{0.8f, 0.0f};  // state 1: mismatched, reflect
+
+  /// On-off keying states: absorb (Γ=0) vs reflect with field magnitude
+  /// sqrt(rho), i.e. a fraction rho of incident *power* is reflected.
+  static ReflectionStates ook(double rho);
+
+  /// BPSK states: ±sqrt(rho) (equal magnitude, 180° phase shift).
+  static ReflectionStates bpsk(double rho);
+
+  /// Field-level difference |Γ1 - Γ0| — proportional to the detectable
+  /// signal swing at the receiver.
+  float differential_amplitude() const;
+};
+
+/// Stateless reflection: out = Γ(state) * incident.
+class BackscatterModulator {
+ public:
+  explicit BackscatterModulator(ReflectionStates states);
+
+  cf32 reflect(cf32 incident, bool state) const;
+
+  /// Applies reflection over a block with a per-sample state stream.
+  void reflect(std::span<const cf32> incident,
+               std::span<const std::uint8_t> states,
+               std::span<cf32> out) const;
+
+  /// Fraction of incident power available to the harvester in `state`
+  /// (before harvester efficiency): 1 - |Γ|^2.
+  double harvest_fraction(bool state) const;
+
+  const ReflectionStates& states() const { return states_; }
+
+ private:
+  ReflectionStates states_;
+};
+
+}  // namespace fdb::channel

@@ -1,0 +1,27 @@
+#include "channel/fading.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::channel {
+
+RicianFading::RicianFading(double k_factor, Rng& rng) : k_(k_factor) {
+  assert(k_factor >= 0.0);
+  next_block(rng);
+}
+
+void RicianFading::next_block(Rng& rng) {
+  // LOS component carries K/(K+1) of the power, scattered 1/(K+1).
+  const double los = std::sqrt(k_ / (k_ + 1.0));
+  const cf32 scattered = rng.cn(1.0 / (k_ + 1.0));
+  gain_ = cf32{static_cast<float>(los), 0.0f} + scattered;
+}
+
+std::unique_ptr<FadingProcess> make_fading(const std::string& kind, Rng& rng,
+                                           double rician_k) {
+  if (kind == "rayleigh") return std::make_unique<RayleighFading>(rng);
+  if (kind == "rician") return std::make_unique<RicianFading>(rician_k, rng);
+  return std::make_unique<StaticFading>();
+}
+
+}  // namespace fdb::channel

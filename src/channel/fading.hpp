@@ -1,0 +1,66 @@
+// Small-scale fading. Block fading matches the paper's setting: channel
+// coefficients hold for a coherence block (many bits at backscatter
+// rates) and redraw independently between blocks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fdb::channel {
+
+class FadingProcess {
+ public:
+  virtual ~FadingProcess() = default;
+
+  /// Complex gain for the current coherence block (unit mean square).
+  virtual cf32 gain() const = 0;
+
+  /// Advances to the next coherence block.
+  virtual void next_block(Rng& rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// No fading: gain fixed at 1 (static/line-of-sight lab bench).
+class StaticFading final : public FadingProcess {
+ public:
+  cf32 gain() const override { return {1.0f, 0.0f}; }
+  void next_block(Rng&) override {}
+  const char* name() const override { return "static"; }
+};
+
+/// Rayleigh block fading: gain ~ CN(0, 1) per block.
+class RayleighFading final : public FadingProcess {
+ public:
+  explicit RayleighFading(Rng& rng) { next_block(rng); }
+
+  cf32 gain() const override { return gain_; }
+  void next_block(Rng& rng) override { gain_ = rng.cn(1.0); }
+  const char* name() const override { return "rayleigh"; }
+
+ private:
+  cf32 gain_{1.0f, 0.0f};
+};
+
+/// Rician block fading with K-factor (LOS + scattered), unit mean square.
+class RicianFading final : public FadingProcess {
+ public:
+  RicianFading(double k_factor, Rng& rng);
+
+  cf32 gain() const override { return gain_; }
+  void next_block(Rng& rng) override;
+  const char* name() const override { return "rician"; }
+
+ private:
+  double k_;
+  cf32 gain_{1.0f, 0.0f};
+};
+
+/// Factory keyed by name ("static" | "rayleigh" | "rician").
+std::unique_ptr<FadingProcess> make_fading(const std::string& kind, Rng& rng,
+                                           double rician_k = 6.0);
+
+}  // namespace fdb::channel

@@ -1,0 +1,36 @@
+#include "channel/multipath.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::channel {
+
+std::vector<cf32> draw_multipath_taps(const MultipathProfile& profile,
+                                      Rng& rng) {
+  assert(profile.num_taps >= 1);
+  assert(profile.delay_spread_samples > 0.0);
+  std::vector<cf32> taps(profile.num_taps);
+  double total = 0.0;
+  std::vector<double> weights(profile.num_taps);
+  for (std::size_t k = 0; k < profile.num_taps; ++k) {
+    weights[k] =
+        std::exp(-static_cast<double>(k) / profile.delay_spread_samples);
+    total += weights[k];
+  }
+  for (std::size_t k = 0; k < profile.num_taps; ++k) {
+    taps[k] = rng.cn(weights[k] / total);
+  }
+  return taps;
+}
+
+MultipathChannel::MultipathChannel(MultipathProfile profile, Rng& rng)
+    : profile_(profile),
+      taps_(draw_multipath_taps(profile, rng)),
+      fir_(taps_) {}
+
+void MultipathChannel::redraw(Rng& rng) {
+  taps_ = draw_multipath_taps(profile_, rng);
+  fir_ = dsp::FirFilterCC(taps_);
+}
+
+}  // namespace fdb::channel

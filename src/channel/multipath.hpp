@@ -1,0 +1,45 @@
+// Tapped-delay-line multipath with an exponential power-delay profile —
+// the standard indoor wideband model. Applied to the ambient carrier
+// path, it creates frequency selectivity the OFDM source then exhibits.
+#pragma once
+
+#include <vector>
+
+#include "dsp/fir.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fdb::channel {
+
+struct MultipathProfile {
+  std::size_t num_taps = 4;
+  double delay_spread_samples = 2.0;  // exponential decay constant
+};
+
+/// Draws a unit-total-power complex tap vector from the profile.
+std::vector<cf32> draw_multipath_taps(const MultipathProfile& profile,
+                                      Rng& rng);
+
+/// Streaming multipath channel: FIR with redrawable taps (block fading
+/// at the impulse-response level).
+class MultipathChannel {
+ public:
+  MultipathChannel(MultipathProfile profile, Rng& rng);
+
+  cf32 process(cf32 x) { return fir_.process(x); }
+  void process(std::span<const cf32> in, std::span<cf32> out) {
+    fir_.process(in, out);
+  }
+
+  /// Redraws the impulse response (new coherence block).
+  void redraw(Rng& rng);
+
+  const std::vector<cf32>& taps() const { return taps_; }
+
+ private:
+  MultipathProfile profile_;
+  std::vector<cf32> taps_;
+  dsp::FirFilterCC fir_;
+};
+
+}  // namespace fdb::channel

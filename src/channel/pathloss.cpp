@@ -1,0 +1,36 @@
+#include "channel/pathloss.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/db.hpp"
+
+namespace fdb::channel {
+
+double friis_amplitude_gain(double distance_m, double wavelength_m) {
+  assert(distance_m > 0.0 && wavelength_m > 0.0);
+  return wavelength_m / (4.0 * std::numbers::pi * distance_m);
+}
+
+double LogDistanceModel::power_gain(double distance_m, Rng* rng) const {
+  assert(distance_m > 0.0);
+  const double d = std::max(distance_m, reference_distance_m);
+  double loss_db = reference_loss_db +
+                   10.0 * exponent * std::log10(d / reference_distance_m);
+  if (rng != nullptr && shadowing_sigma_db > 0.0) {
+    loss_db += rng->normal(0.0, shadowing_sigma_db);
+  }
+  return db_to_lin(-loss_db);
+}
+
+double LogDistanceModel::amplitude_gain(double distance_m, Rng* rng) const {
+  return std::sqrt(power_gain(distance_m, rng));
+}
+
+double wavelength_m(double carrier_hz) {
+  assert(carrier_hz > 0.0);
+  return 299'792'458.0 / carrier_hz;
+}
+
+}  // namespace fdb::channel

@@ -1,0 +1,33 @@
+// Large-scale propagation models. Backscatter links see path loss twice
+// (illuminator->tag and tag->receiver), which is why ranges are short;
+// the scene composes these one-way gains.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace fdb::channel {
+
+/// Free-space amplitude gain at `distance_m` for carrier wavelength
+/// `wavelength_m` (Friis with unity antenna gains). Returns the *field*
+/// gain; square it for power.
+double friis_amplitude_gain(double distance_m, double wavelength_m);
+
+/// Log-distance path-loss model.
+struct LogDistanceModel {
+  double reference_distance_m = 1.0;
+  double reference_loss_db = 30.0;   // loss at the reference distance
+  double exponent = 2.5;             // indoor-ish
+  double shadowing_sigma_db = 0.0;   // lognormal shadowing std dev
+
+  /// Power gain (<= 1) at `distance_m`; when shadowing_sigma_db > 0 a
+  /// shadowing realisation is drawn from `rng`.
+  double power_gain(double distance_m, Rng* rng = nullptr) const;
+
+  /// Field gain: sqrt(power_gain).
+  double amplitude_gain(double distance_m, Rng* rng = nullptr) const;
+};
+
+/// UHF TV-band wavelength helper (c / f).
+double wavelength_m(double carrier_hz);
+
+}  // namespace fdb::channel

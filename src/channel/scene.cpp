@@ -1,0 +1,37 @@
+#include "channel/scene.hpp"
+
+#include <cmath>
+
+namespace fdb::channel {
+
+double distance_m(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Scene::Scene(LogDistanceModel pathloss_model) : pathloss_(pathloss_model) {}
+
+std::size_t Scene::add_device(Device device) {
+  devices_.push_back(std::move(device));
+  return devices_.size() - 1;
+}
+
+double Scene::amplitude_gain(std::size_t a, std::size_t b, Rng* rng) const {
+  const double d = distance_m(devices_.at(a).position, devices_.at(b).position);
+  return pathloss_.amplitude_gain(std::max(d, 0.01), rng);
+}
+
+double Scene::power_gain(std::size_t a, std::size_t b, Rng* rng) const {
+  const double gain = amplitude_gain(a, b, rng);
+  return gain * gain;
+}
+
+std::size_t Scene::find_first(DeviceKind kind) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].kind == kind) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace fdb::channel

@@ -1,0 +1,61 @@
+// Link geometry: device positions plus a propagation model give the
+// one-way field gains the simulators compose into backscatter links
+// (ambient->tag, tag->receiver, ambient->receiver direct leakage).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "channel/pathloss.hpp"
+#include "util/rng.hpp"
+
+namespace fdb::channel {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance_m(const Vec2& a, const Vec2& b);
+
+enum class DeviceKind { kAmbientTx, kTag, kReceiver };
+
+struct Device {
+  std::string name;
+  DeviceKind kind = DeviceKind::kTag;
+  Vec2 position;
+};
+
+/// Container for devices + the shared propagation model.
+class Scene {
+ public:
+  explicit Scene(LogDistanceModel pathloss_model = {});
+
+  /// Adds a device; returns its index.
+  std::size_t add_device(Device device);
+
+  const Device& device(std::size_t i) const { return devices_.at(i); }
+  std::size_t num_devices() const { return devices_.size(); }
+
+  /// One-way field (amplitude) gain between devices a and b. Shadowing,
+  /// if enabled in the model, is drawn from `rng` per call — callers
+  /// that need a consistent draw should cache the result per coherence
+  /// block.
+  double amplitude_gain(std::size_t a, std::size_t b,
+                        Rng* rng = nullptr) const;
+
+  /// One-way power gain.
+  double power_gain(std::size_t a, std::size_t b, Rng* rng = nullptr) const;
+
+  const LogDistanceModel& pathloss_model() const { return pathloss_; }
+
+  /// First device of the given kind; SIZE_MAX if absent.
+  std::size_t find_first(DeviceKind kind) const;
+
+ private:
+  LogDistanceModel pathloss_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace fdb::channel

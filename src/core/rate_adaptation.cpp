@@ -1,0 +1,76 @@
+#include "core/rate_adaptation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fdb::core {
+
+RateController::RateController(RateAdaptConfig config)
+    : config_(std::move(config)),
+      rung_(std::min(config_.initial_rung,
+                     config_.chip_ladder.empty()
+                         ? 0
+                         : config_.chip_ladder.size() - 1)),
+      window_(config_.window_blocks, 0) {
+  assert(!config_.chip_ladder.empty());
+  assert(std::is_sorted(config_.chip_ladder.begin(),
+                        config_.chip_ladder.end()));
+  assert(config_.upshift_below < config_.downshift_above);
+  assert(config_.window_blocks > 0);
+}
+
+bool RateController::on_block_verdict(bool ok) {
+  window_[window_pos_] = ok ? 0 : 1;
+  window_pos_ = (window_pos_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+  ++since_change_;
+
+  if (window_filled_ < window_.size() ||
+      since_change_ < config_.min_dwell_blocks) {
+    return false;
+  }
+  const double loss = window_loss_rate();
+  // Ladder convention: rung 0 = shortest chips = fastest. A downshift
+  // (worse channel) moves to a LARGER chip, i.e. rung+1.
+  if (loss > config_.downshift_above &&
+      rung_ + 1 < config_.chip_ladder.size()) {
+    ++rung_;
+    ++downshifts_;
+    since_change_ = 0;
+    window_filled_ = 0;  // old-rate verdicts say nothing about the new
+    return true;
+  }
+  if (loss < config_.upshift_below && rung_ > 0) {
+    --rung_;
+    ++upshifts_;
+    since_change_ = 0;
+    window_filled_ = 0;
+    return true;
+  }
+  return false;
+}
+
+std::size_t RateController::samples_per_chip() const {
+  return config_.chip_ladder[rung_];
+}
+
+double RateController::window_loss_rate() const {
+  if (window_filled_ == 0) return 0.0;
+  std::size_t losses = 0;
+  for (std::size_t i = 0; i < window_filled_; ++i) {
+    losses += window_[i];
+  }
+  return static_cast<double>(losses) / static_cast<double>(window_filled_);
+}
+
+void RateController::reset() {
+  rung_ = std::min(config_.initial_rung, config_.chip_ladder.size() - 1);
+  std::fill(window_.begin(), window_.end(), 0);
+  window_pos_ = 0;
+  window_filled_ = 0;
+  since_change_ = 0;
+  upshifts_ = 0;
+  downshifts_ = 0;
+}
+
+}  // namespace fdb::core

@@ -1,0 +1,70 @@
+// Rate adaptation driven by instantaneous feedback — the application
+// the full-duplex design unlocks. With per-block verdicts arriving
+// *during* the frame, the transmitter observes the channel at block
+// granularity and can walk a chip-length ladder (longer chips = more
+// averaging = lower rate but lower BER) within a frame or two, instead
+// of waiting out whole-frame ACK timescales.
+//
+// The controller is deliberately simple — a dwell-limited ladder with
+// hysteresis — because a tag has no spare compute for anything fancier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fdb::core {
+
+struct RateAdaptConfig {
+  /// Chip lengths (samples per chip), slowest-rate last. Must be
+  /// non-empty and strictly increasing.
+  std::vector<std::size_t> chip_ladder = {6, 12, 24, 48, 96};
+  /// Block-loss rate below which the controller tries the next faster
+  /// rung (more bits per second).
+  double upshift_below = 0.02;
+  /// Block-loss rate above which it retreats to the next slower rung.
+  double downshift_above = 0.20;
+  /// Verdicts averaged per decision.
+  std::size_t window_blocks = 32;
+  /// Minimum verdicts between rate changes (prevents hunting).
+  std::size_t min_dwell_blocks = 64;
+  /// Starting rung index.
+  std::size_t initial_rung = 2;
+};
+
+class RateController {
+ public:
+  explicit RateController(RateAdaptConfig config = {});
+
+  /// Feeds one block verdict (true = delivered clean). Returns true if
+  /// the rate changed as a result.
+  bool on_block_verdict(bool ok);
+
+  /// Current chip length to transmit with.
+  std::size_t samples_per_chip() const;
+
+  std::size_t rung() const { return rung_; }
+  std::size_t num_rungs() const { return config_.chip_ladder.size(); }
+
+  /// Loss rate over the current window (0 while warming up).
+  double window_loss_rate() const;
+
+  std::uint64_t upshifts() const { return upshifts_; }
+  std::uint64_t downshifts() const { return downshifts_; }
+
+  void reset();
+
+  const RateAdaptConfig& config() const { return config_; }
+
+ private:
+  RateAdaptConfig config_;
+  std::size_t rung_;
+  std::vector<std::uint8_t> window_;  // 1 = block failed
+  std::size_t window_pos_ = 0;
+  std::size_t window_filled_ = 0;
+  std::size_t since_change_ = 0;
+  std::uint64_t upshifts_ = 0;
+  std::uint64_t downshifts_ = 0;
+};
+
+}  // namespace fdb::core

@@ -1,0 +1,70 @@
+// Closed-form reference models. The benches print these next to the
+// Monte-Carlo columns so shape claims can be checked against analysis,
+// and the property tests use them as envelopes (simulation must land
+// within a calibrated factor of theory in the AWGN/CW regime).
+#pragma once
+
+#include <cstddef>
+
+namespace fdb::core {
+
+/// Gaussian tail Q(x) = P(N(0,1) > x).
+double qfunc(double x);
+
+/// BER of OOK with envelope detection and integrate&dump over `n_avg`
+/// samples: the two levels are separated by `delta_amp` (field units)
+/// and per-sample noise on the envelope has std dev `noise_sigma`.
+/// Approximation: Gaussian post-integration statistics, optimum midpoint
+/// threshold -> Q( sqrt(n_avg) * delta/2 / sigma ).
+double ook_envelope_ber(double delta_amp, double noise_sigma,
+                        std::size_t n_avg);
+
+/// BER of the slow feedback bit: same statistic but averaged over a
+/// whole feedback window (`n_avg` = samples per feedback bit or the
+/// gated subset). Manchester halves the window per level but doubles
+/// the effective distance measurement — net equal, so the same formula
+/// applies with n_avg = window/2 per half and delta unchanged.
+double feedback_ber(double delta_amp, double noise_sigma,
+                    std::size_t window_samples, bool manchester);
+
+/// Block error rate for `block_bits` i.i.d. bit errors at rate `ber`.
+double block_error_rate(double ber, std::size_t block_bits);
+
+// ---------------------------------------------------------------------
+// ARQ throughput models (normalised goodput in [0,1]: useful payload
+// bits delivered per data-stream bit-time spent).
+// ---------------------------------------------------------------------
+
+struct ArqModelParams {
+  std::size_t payload_bits = 8 * 256;  // frame payload
+  std::size_t block_bits = 64;         // FD-ARQ block payload bits
+  std::size_t block_overhead_bits = 8; // per-block CRC
+  std::size_t frame_overhead_bits = 32;// header + frame CRC
+  std::size_t preamble_bits = 21;      // sync cost per *transmission*
+  /// Turnaround cost of a half-duplex feedback exchange, in bit-times:
+  /// the link must stop, the receiver must send an ACK frame, and the
+  /// transmitter must re-acquire — none of which full-duplex pays.
+  std::size_t ack_turnaround_bits = 64;
+};
+
+/// Stop-and-wait: whole frame retransmitted until its CRC passes.
+double stop_and_wait_goodput(double ber, const ArqModelParams& params);
+
+/// Selective repeat at frame granularity with a window large enough to
+/// hide the turnaround (optimistic baseline).
+double selective_repeat_goodput(double ber, const ArqModelParams& params);
+
+/// Full-duplex instant-NACK: only corrupted blocks are retransmitted,
+/// in-frame, with no turnaround. `feedback_ber` models verdict errors:
+/// a false-NACK wastes one block, a false-ACK forces a frame-level
+/// recovery pass.
+double fd_arq_goodput(double ber, double feedback_ber,
+                      const ArqModelParams& params);
+
+/// Energy per delivered payload bit, in units of the energy to keep the
+/// link active for one bit-time, for each scheme (same conventions).
+double stop_and_wait_energy_per_bit(double ber, const ArqModelParams& params);
+double fd_arq_energy_per_bit(double ber, double feedback_ber,
+                             const ArqModelParams& params);
+
+}  // namespace fdb::core

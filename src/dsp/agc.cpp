@@ -1,0 +1,35 @@
+#include "dsp/agc.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::dsp {
+
+Agc::Agc(float target, float rate) : target_(target), rate_(rate) {
+  assert(target > 0.0f && rate > 0.0f && rate <= 1.0f);
+}
+
+float Agc::process(float x) {
+  const float y = x * gain_;
+  const float err = target_ - std::abs(y);
+  gain_ += rate_ * err;
+  if (gain_ < 1e-6f) gain_ = 1e-6f;
+  return y;
+}
+
+cf32 Agc::process(cf32 x) {
+  const cf32 y = x * gain_;
+  const float err = target_ - std::abs(y);
+  gain_ += rate_ * err;
+  if (gain_ < 1e-6f) gain_ = 1e-6f;
+  return y;
+}
+
+void Agc::process(std::span<const float> in, std::span<float> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void Agc::reset() { gain_ = 1.0f; }
+
+}  // namespace fdb::dsp

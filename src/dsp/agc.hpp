@@ -1,0 +1,30 @@
+// Feedback automatic gain control. Keeps envelope streams near a target
+// level so slicer thresholds remain meaningful across the distance sweep.
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+
+namespace fdb::dsp {
+
+class Agc {
+ public:
+  /// `target` is the desired average magnitude; `rate` in (0,1] controls
+  /// loop speed (fraction of the error corrected per sample).
+  Agc(float target, float rate);
+
+  float process(float x);
+  cf32 process(cf32 x);
+  void process(std::span<const float> in, std::span<float> out);
+
+  float gain() const { return gain_; }
+  void reset();
+
+ private:
+  float target_;
+  float rate_;
+  float gain_ = 1.0f;
+};
+
+}  // namespace fdb::dsp

@@ -1,0 +1,100 @@
+#include "dsp/correlator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::dsp {
+
+SlidingCorrelator::SlidingCorrelator(std::vector<float> pattern,
+                                     std::size_t samples_per_chip) {
+  assert(!pattern.empty() && samples_per_chip > 0);
+  stretched_.reserve(pattern.size() * samples_per_chip);
+  for (const float chip : pattern) {
+    assert(chip == 1.0f || chip == -1.0f);
+    for (std::size_t s = 0; s < samples_per_chip; ++s) {
+      stretched_.push_back(chip);
+    }
+  }
+  // Mean-remove the pattern so a perfectly aligned window scores exactly
+  // 1.0 even for patterns with nonzero disparity (Barker codes have a
+  // small DC component the windowed mean-removal would otherwise lose).
+  double mean = 0.0;
+  for (const float v : stretched_) mean += v;
+  mean /= static_cast<double>(stretched_.size());
+  pattern_energy_ = 0.0;
+  for (auto& v : stretched_) {
+    v -= static_cast<float>(mean);
+    pattern_energy_ += static_cast<double>(v) * v;
+  }
+  window_len_ = stretched_.size();
+  window_.assign(window_len_, 0.0f);
+}
+
+float SlidingCorrelator::process(float x) {
+  window_[pos_] = x;
+  pos_ = (pos_ + 1) % window_len_;
+  if (filled_ < window_len_) {
+    ++filled_;
+    if (filled_ < window_len_) return 0.0f;
+  }
+  // window_[pos_] is the oldest sample; align stretched_[0] with it.
+  double mean = 0.0;
+  for (const float v : window_) mean += v;
+  mean /= static_cast<double>(window_len_);
+
+  double dot = 0.0;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < window_len_; ++i) {
+    const double v = window_[(pos_ + i) % window_len_] - mean;
+    dot += v * stretched_[i];
+    energy += v * v;
+  }
+  const double denom = std::sqrt(energy * pattern_energy_);
+  if (denom < 1e-12) return 0.0f;
+  return static_cast<float>(dot / denom);
+}
+
+void SlidingCorrelator::reset() {
+  std::fill(window_.begin(), window_.end(), 0.0f);
+  pos_ = 0;
+  filled_ = 0;
+}
+
+PeakDetector::PeakDetector(float threshold, std::size_t lockout)
+    : threshold_(threshold), lockout_(lockout) {
+  assert(lockout > 0);
+}
+
+std::optional<std::size_t> PeakDetector::process(float corr) {
+  const std::size_t current = index_++;
+  if (!tracking_) {
+    if (corr >= threshold_) {
+      tracking_ = true;
+      best_ = corr;
+      best_index_ = current;
+      since_best_ = 0;
+    }
+    return std::nullopt;
+  }
+  if (corr > best_) {
+    best_ = corr;
+    best_index_ = current;
+    since_best_ = 0;
+    return std::nullopt;
+  }
+  if (++since_best_ >= lockout_) {
+    tracking_ = false;
+    return best_index_;
+  }
+  return std::nullopt;
+}
+
+void PeakDetector::reset() {
+  index_ = 0;
+  tracking_ = false;
+  best_ = 0.0f;
+  best_index_ = 0;
+  since_best_ = 0;
+}
+
+}  // namespace fdb::dsp

@@ -1,0 +1,62 @@
+// Sliding correlator for preamble detection on envelope streams.
+//
+// The pattern is a ±1 chip sequence; incoming envelope samples are
+// mean-removed over the correlation window so the detector is invariant
+// to the (large, slowly varying) ambient-carrier DC level.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fdb::dsp {
+
+class SlidingCorrelator {
+ public:
+  /// `pattern` holds ±1 chips; `samples_per_chip` stretches each chip.
+  SlidingCorrelator(std::vector<float> pattern, std::size_t samples_per_chip);
+
+  /// Pushes one envelope sample; returns the normalised correlation in
+  /// [-1, 1] once the window has filled (0 before that).
+  float process(float x);
+
+  /// True once the internal window is full and outputs are meaningful.
+  bool warmed_up() const { return filled_ >= window_len_; }
+
+  std::size_t window_length() const { return window_len_; }
+  void reset();
+
+ private:
+  std::vector<float> stretched_;  // pattern expanded & mean-removed
+  double pattern_energy_ = 0.0;
+  std::size_t window_len_;
+  std::vector<float> window_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+};
+
+/// Peak picker: reports a detection when the correlation exceeds
+/// `threshold` and is a local maximum within `lockout` samples.
+class PeakDetector {
+ public:
+  PeakDetector(float threshold, std::size_t lockout);
+
+  /// Pushes a correlation value. Returns the sample index (counted from
+  /// the first process() call) at which a confirmed peak occurred, once
+  /// the lockout has elapsed and the peak is finalised.
+  std::optional<std::size_t> process(float corr);
+
+  void reset();
+
+ private:
+  float threshold_;
+  std::size_t lockout_;
+  std::size_t index_ = 0;
+  bool tracking_ = false;
+  float best_ = 0.0f;
+  std::size_t best_index_ = 0;
+  std::size_t since_best_ = 0;
+};
+
+}  // namespace fdb::dsp

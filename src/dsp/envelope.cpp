@@ -1,0 +1,39 @@
+#include "dsp/envelope.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::dsp {
+
+EnvelopeDetector::EnvelopeDetector(double rc_cutoff_hz, double sample_rate_hz)
+    : smoother_(OnePole::from_cutoff(rc_cutoff_hz, sample_rate_hz)) {}
+
+float EnvelopeDetector::process(cf32 x) {
+  return smoother_.process(std::abs(x));
+}
+
+void EnvelopeDetector::process(std::span<const cf32> in,
+                               std::span<float> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void EnvelopeDetector::reset() { smoother_.reset(); }
+
+SquareLawDetector::SquareLawDetector(double rc_cutoff_hz,
+                                     double sample_rate_hz)
+    : smoother_(OnePole::from_cutoff(rc_cutoff_hz, sample_rate_hz)) {}
+
+float SquareLawDetector::process(cf32 x) {
+  return smoother_.process(std::norm(x));
+}
+
+void SquareLawDetector::process(std::span<const cf32> in,
+                                std::span<float> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void SquareLawDetector::reset() { smoother_.reset(); }
+
+}  // namespace fdb::dsp

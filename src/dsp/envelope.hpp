@@ -1,0 +1,43 @@
+// Envelope detection — the only "RF" operation a passive backscatter
+// receiver performs. A diode + RC network is modelled as magnitude
+// extraction followed by a one-pole low-pass whose time constant is the
+// RC product.
+#pragma once
+
+#include <span>
+
+#include "dsp/iir.hpp"
+#include "util/types.hpp"
+
+namespace fdb::dsp {
+
+class EnvelopeDetector {
+ public:
+  /// `rc_cutoff_hz` models the RC low-pass after the diode; it must pass
+  /// the data rate but average out carrier structure.
+  EnvelopeDetector(double rc_cutoff_hz, double sample_rate_hz);
+
+  /// |x| -> RC smoothing. Output is a nonnegative envelope sample.
+  float process(cf32 x);
+  void process(std::span<const cf32> in, std::span<float> out);
+  void reset();
+
+ private:
+  OnePole smoother_;
+};
+
+/// Square-law detector variant (|x|^2): closer to low-cost power
+/// detectors; used by the energy-detection comparisons in tests.
+class SquareLawDetector {
+ public:
+  SquareLawDetector(double rc_cutoff_hz, double sample_rate_hz);
+
+  float process(cf32 x);
+  void process(std::span<const cf32> in, std::span<float> out);
+  void reset();
+
+ private:
+  OnePole smoother_;
+};
+
+}  // namespace fdb::dsp

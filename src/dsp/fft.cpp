@@ -1,0 +1,73 @@
+#include "dsp/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fdb::dsp {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void bit_reverse_permute(std::span<cf32> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void fft_core(std::span<cf32> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n));
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cf32 wlen(static_cast<float>(std::cos(angle)),
+                    static_cast<float>(std::sin(angle)));
+    for (std::size_t i = 0; i < n; i += len) {
+      cf32 w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cf32 u = data[i + k];
+        const cf32 v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft(std::span<cf32> data) { fft_core(data, /*inverse=*/false); }
+
+void ifft(std::span<cf32> data) {
+  fft_core(data, /*inverse=*/true);
+  const float scale = 1.0f / static_cast<float>(data.size());
+  for (auto& x : data) x *= scale;
+}
+
+void fftshift(std::span<cf32> data) {
+  const std::size_t half = data.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) std::swap(data[i], data[i + half]);
+}
+
+std::vector<float> power_spectrum(std::span<const cf32> data) {
+  assert(is_pow2(data.size()));
+  std::vector<cf32> work(data.begin(), data.end());
+  fft(work);
+  std::vector<float> ps(work.size());
+  const float norm = 1.0f / static_cast<float>(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    ps[i] = std::norm(work[i]) * norm;
+  }
+  return ps;
+}
+
+}  // namespace fdb::dsp

@@ -1,0 +1,30 @@
+// Radix-2 iterative FFT. Powers the ambient OFDM source and the
+// spectrum probe example. Self-contained: the library has no external
+// DSP dependencies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdb::dsp {
+
+/// In-place forward FFT; data.size() must be a power of two.
+void fft(std::span<cf32> data);
+
+/// In-place inverse FFT with 1/N normalisation.
+void ifft(std::span<cf32> data);
+
+/// Returns true when n is a nonzero power of two.
+bool is_pow2(std::size_t n);
+
+/// Swaps halves so DC lands in the middle (plot ordering).
+void fftshift(std::span<cf32> data);
+
+/// |X[k]|^2 / N of the windowed FFT of `data` (Welch-style single
+/// segment). data.size() must be a power of two.
+std::vector<float> power_spectrum(std::span<const cf32> data);
+
+}  // namespace fdb::dsp

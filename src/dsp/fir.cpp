@@ -1,0 +1,116 @@
+#include "dsp/fir.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fdb::dsp {
+namespace {
+
+// Shared streaming-convolution core. Delay line is used circularly:
+// pos_ points at the slot that will receive the next sample.
+template <typename Tap, typename Sample>
+Sample fir_step(const std::vector<Tap>& taps, std::vector<Sample>& delay,
+                std::size_t& pos, Sample x) {
+  delay[pos] = x;
+  Sample acc{};
+  std::size_t idx = pos;
+  for (const Tap& tap : taps) {
+    acc += tap * delay[idx];
+    idx = (idx == 0) ? delay.size() - 1 : idx - 1;
+  }
+  pos = (pos + 1) % delay.size();
+  return acc;
+}
+
+}  // namespace
+
+FirFilterF::FirFilterF(std::vector<float> taps)
+    : taps_(std::move(taps)), delay_(taps_.empty() ? 1 : taps_.size(), 0.0f) {
+  assert(!taps_.empty());
+}
+
+float FirFilterF::process(float x) {
+  return fir_step(taps_, delay_, pos_, x);
+}
+
+void FirFilterF::process(std::span<const float> in, std::span<float> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void FirFilterF::reset() {
+  std::fill(delay_.begin(), delay_.end(), 0.0f);
+  pos_ = 0;
+}
+
+FirFilterC::FirFilterC(std::vector<float> taps)
+    : taps_(std::move(taps)), delay_(taps_.empty() ? 1 : taps_.size()) {
+  assert(!taps_.empty());
+}
+
+cf32 FirFilterC::process(cf32 x) { return fir_step(taps_, delay_, pos_, x); }
+
+void FirFilterC::process(std::span<const cf32> in, std::span<cf32> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void FirFilterC::reset() {
+  std::fill(delay_.begin(), delay_.end(), cf32{});
+  pos_ = 0;
+}
+
+FirFilterCC::FirFilterCC(std::vector<cf32> taps)
+    : taps_(std::move(taps)), delay_(taps_.empty() ? 1 : taps_.size()) {
+  assert(!taps_.empty());
+}
+
+cf32 FirFilterCC::process(cf32 x) { return fir_step(taps_, delay_, pos_, x); }
+
+void FirFilterCC::process(std::span<const cf32> in, std::span<cf32> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void FirFilterCC::reset() {
+  std::fill(delay_.begin(), delay_.end(), cf32{});
+  pos_ = 0;
+}
+
+std::vector<float> design_lowpass(double cutoff_norm, std::size_t num_taps,
+                                  WindowType window) {
+  assert(cutoff_norm > 0.0 && cutoff_norm < 0.5);
+  assert(num_taps >= 1);
+  const auto w = make_window(window, num_taps);
+  std::vector<float> taps(num_taps);
+  const double center = static_cast<double>(num_taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - center;
+    const double x = 2.0 * std::numbers::pi * cutoff_norm * t;
+    const double sinc = (std::abs(t) < 1e-12) ? 2.0 * cutoff_norm
+                                              : std::sin(x) / (std::numbers::pi * t);
+    taps[i] = static_cast<float>(sinc) * w[i];
+    sum += taps[i];
+  }
+  for (auto& tap : taps) tap = static_cast<float>(tap / sum);
+  return taps;
+}
+
+std::vector<float> design_highpass(double cutoff_norm, std::size_t num_taps,
+                                   WindowType window) {
+  assert(num_taps % 2 == 1 && "type-I (odd) length required for high-pass");
+  auto taps = design_lowpass(cutoff_norm, num_taps, window);
+  // Spectral inversion: delta at center minus low-pass.
+  for (auto& tap : taps) tap = -tap;
+  taps[(num_taps - 1) / 2] += 1.0f;
+  return taps;
+}
+
+std::vector<float> design_boxcar(std::size_t n) {
+  assert(n > 0);
+  return std::vector<float>(n, 1.0f / static_cast<float>(n));
+}
+
+}  // namespace fdb::dsp

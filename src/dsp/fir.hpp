@@ -1,0 +1,85 @@
+// Streaming FIR filters plus a windowed-sinc designer. The channel model
+// uses FIRs for multipath; the PHY uses them for matched filtering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+#include "util/types.hpp"
+
+namespace fdb::dsp {
+
+/// Real-tap FIR operating on real samples. Streaming: keeps history
+/// across process() calls so block boundaries are seamless.
+class FirFilterF {
+ public:
+  explicit FirFilterF(std::vector<float> taps);
+
+  /// Filters one sample.
+  float process(float x);
+
+  /// Filters a block in place semantics: out[i] = filter(in[i]).
+  void process(std::span<const float> in, std::span<float> out);
+
+  void reset();
+  std::size_t num_taps() const { return taps_.size(); }
+  std::span<const float> taps() const { return taps_; }
+
+ private:
+  std::vector<float> taps_;
+  std::vector<float> delay_;
+  std::size_t pos_ = 0;
+};
+
+/// Real-tap FIR operating on complex samples (e.g. pulse shaping of the
+/// baseband carrier before the channel).
+class FirFilterC {
+ public:
+  explicit FirFilterC(std::vector<float> taps);
+
+  cf32 process(cf32 x);
+  void process(std::span<const cf32> in, std::span<cf32> out);
+  void reset();
+  std::size_t num_taps() const { return taps_.size(); }
+
+ private:
+  std::vector<float> taps_;
+  std::vector<cf32> delay_;
+  std::size_t pos_ = 0;
+};
+
+/// Complex-tap FIR on complex samples (multipath channel impulse
+/// responses have complex gains).
+class FirFilterCC {
+ public:
+  explicit FirFilterCC(std::vector<cf32> taps);
+
+  cf32 process(cf32 x);
+  void process(std::span<const cf32> in, std::span<cf32> out);
+  void reset();
+  std::size_t num_taps() const { return taps_.size(); }
+
+ private:
+  std::vector<cf32> taps_;
+  std::vector<cf32> delay_;
+  std::size_t pos_ = 0;
+};
+
+/// Designs a linear-phase low-pass FIR by the windowed-sinc method.
+/// `cutoff_norm` is the -6 dB cutoff as a fraction of the sample rate,
+/// in (0, 0.5). `num_taps` should be odd for a symmetric type-I filter.
+/// Taps are normalised to unity DC gain.
+std::vector<float> design_lowpass(double cutoff_norm, std::size_t num_taps,
+                                  WindowType window = WindowType::kHamming);
+
+/// High-pass complement of design_lowpass (spectral inversion), unity
+/// gain at Nyquist.
+std::vector<float> design_highpass(double cutoff_norm, std::size_t num_taps,
+                                   WindowType window = WindowType::kHamming);
+
+/// Boxcar (moving-average) taps of length n, unity DC gain.
+std::vector<float> design_boxcar(std::size_t n);
+
+}  // namespace fdb::dsp

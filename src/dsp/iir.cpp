@@ -1,0 +1,87 @@
+#include "dsp/iir.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fdb::dsp {
+
+OnePole::OnePole(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+OnePole OnePole::from_cutoff(double cutoff_hz, double sample_rate_hz) {
+  assert(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0);
+  // Exact mapping of an RC pole to its discrete equivalent.
+  const double alpha =
+      1.0 - std::exp(-2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz);
+  return OnePole(alpha);
+}
+
+float OnePole::process(float x) {
+  y_ = static_cast<float>(alpha_ * x + (1.0 - alpha_) * y_);
+  return y_;
+}
+
+void OnePole::process(std::span<const float> in, std::span<float> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void OnePole::reset(float value) { y_ = value; }
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+namespace {
+struct RbjCommon {
+  double w0, cosw, sinw, alpha;
+};
+RbjCommon rbj(double cutoff_hz, double sample_rate_hz, double q) {
+  assert(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0 && q > 0.0);
+  RbjCommon c{};
+  c.w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  c.cosw = std::cos(c.w0);
+  c.sinw = std::sin(c.w0);
+  c.alpha = c.sinw / (2.0 * q);
+  return c;
+}
+}  // namespace
+
+Biquad Biquad::lowpass(double cutoff_hz, double sample_rate_hz, double q) {
+  const auto c = rbj(cutoff_hz, sample_rate_hz, q);
+  const double a0 = 1.0 + c.alpha;
+  return Biquad((1.0 - c.cosw) / 2.0 / a0, (1.0 - c.cosw) / a0,
+                (1.0 - c.cosw) / 2.0 / a0, -2.0 * c.cosw / a0,
+                (1.0 - c.alpha) / a0);
+}
+
+Biquad Biquad::highpass(double cutoff_hz, double sample_rate_hz, double q) {
+  const auto c = rbj(cutoff_hz, sample_rate_hz, q);
+  const double a0 = 1.0 + c.alpha;
+  return Biquad((1.0 + c.cosw) / 2.0 / a0, -(1.0 + c.cosw) / a0,
+                (1.0 + c.cosw) / 2.0 / a0, -2.0 * c.cosw / a0,
+                (1.0 - c.alpha) / a0);
+}
+
+Biquad Biquad::dc_blocker(double sample_rate_hz, double cutoff_hz) {
+  return highpass(cutoff_hz, sample_rate_hz, 0.7071);
+}
+
+float Biquad::process(float x) {
+  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return static_cast<float>(y);
+}
+
+void Biquad::process(std::span<const float> in, std::span<float> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+}  // namespace fdb::dsp

@@ -1,0 +1,52 @@
+// IIR building blocks: single-pole smoothers (envelope tracking, AGC
+// loops) and RBJ biquads (DC removal, band selection).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fdb::dsp {
+
+/// One-pole low-pass y[n] = a*x[n] + (1-a)*y[n-1]. The classic cheap
+/// smoother a microcontroller-class backscatter decoder can afford.
+class OnePole {
+ public:
+  /// alpha in (0, 1]; larger tracks faster.
+  explicit OnePole(double alpha);
+
+  /// Builds a one-pole whose -3 dB point is at `cutoff_hz` for the given
+  /// sample rate.
+  static OnePole from_cutoff(double cutoff_hz, double sample_rate_hz);
+
+  float process(float x);
+  void process(std::span<const float> in, std::span<float> out);
+  void reset(float value = 0.0f);
+  float value() const { return y_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  float y_ = 0.0f;
+};
+
+/// Direct-form-I biquad with RBJ cookbook designers.
+class Biquad {
+ public:
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  static Biquad lowpass(double cutoff_hz, double sample_rate_hz, double q = 0.7071);
+  static Biquad highpass(double cutoff_hz, double sample_rate_hz, double q = 0.7071);
+  /// DC blocker: high-pass with very low cutoff, used to strip the strong
+  /// carrier mean out of envelope streams.
+  static Biquad dc_blocker(double sample_rate_hz, double cutoff_hz = 1.0);
+
+  float process(float x);
+  void process(std::span<const float> in, std::span<float> out);
+  void reset();
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+}  // namespace fdb::dsp

@@ -1,0 +1,93 @@
+// Sliding-window moving average. This is the workhorse of ambient
+// backscatter decoding: the receiver distinguishes "reflecting" from
+// "absorbing" by comparing short- and long-window averages of the
+// envelope, and full-duplex rate separation uses a long window whose
+// span covers many fast data bits.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fdb::dsp {
+
+template <typename T>
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window)
+      : window_(window), buffer_(window, T{}) {
+    assert(window > 0);
+  }
+
+  /// Pushes a sample, returns the average over the most recent
+  /// min(window, pushed) samples.
+  T process(T x) {
+    sum_ += x;
+    sum_ -= buffer_[pos_];
+    buffer_[pos_] = x;
+    pos_ = (pos_ + 1) % window_;
+    if (filled_ < window_) ++filled_;
+    return sum_ / static_cast<T>(filled_);
+  }
+
+  T value() const {
+    return filled_ ? sum_ / static_cast<T>(filled_) : T{};
+  }
+
+  std::size_t window() const { return window_; }
+  std::size_t filled() const { return filled_; }
+  bool warmed_up() const { return filled_ == window_; }
+
+  void reset() {
+    std::fill(buffer_.begin(), buffer_.end(), T{});
+    sum_ = T{};
+    pos_ = 0;
+    filled_ = 0;
+  }
+
+ private:
+  std::size_t window_;
+  std::vector<T> buffer_;
+  T sum_{};
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+};
+
+/// Double-buffered min/max tracker over a sliding window, used by the
+/// adaptive slicer to place its threshold midway between the envelope
+/// levels of the two reflection states.
+template <typename T>
+class WindowedMinMax {
+ public:
+  explicit WindowedMinMax(std::size_t window) : window_(window) {
+    assert(window > 0);
+  }
+
+  void push(T x) {
+    buffer_.push_back(x);
+    if (buffer_.size() > window_) buffer_.erase(buffer_.begin());
+  }
+
+  T min() const {
+    assert(!buffer_.empty());
+    T m = buffer_[0];
+    for (const T& v : buffer_) m = v < m ? v : m;
+    return m;
+  }
+
+  T max() const {
+    assert(!buffer_.empty());
+    T m = buffer_[0];
+    for (const T& v : buffer_) m = v > m ? v : m;
+    return m;
+  }
+
+  bool empty() const { return buffer_.empty(); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::size_t window_;
+  std::vector<T> buffer_;
+};
+
+}  // namespace fdb::dsp

@@ -1,0 +1,56 @@
+#include "dsp/resample.hpp"
+
+#include <cassert>
+
+namespace fdb::dsp {
+
+Decimator::Decimator(std::size_t factor, std::size_t taps)
+    : factor_(factor),
+      filter_(design_lowpass(0.45 / static_cast<double>(factor), taps | 1)) {
+  assert(factor > 0);
+}
+
+void Decimator::process(std::span<const float> in, std::vector<float>& out) {
+  for (const float x : in) {
+    const float y = filter_.process(x);
+    if (phase_ == 0) out.push_back(y);
+    phase_ = (phase_ + 1) % factor_;
+  }
+}
+
+void Decimator::reset() {
+  filter_.reset();
+  phase_ = 0;
+}
+
+Interpolator::Interpolator(std::size_t factor, std::size_t taps)
+    : factor_(factor),
+      filter_(design_lowpass(0.45 / static_cast<double>(factor), taps | 1)) {
+  assert(factor > 0);
+}
+
+void Interpolator::process(std::span<const float> in,
+                           std::vector<float>& out) {
+  for (const float x : in) {
+    // Zero-stuff then filter; gain of `factor` restores amplitude.
+    out.push_back(filter_.process(x * static_cast<float>(factor_)));
+    for (std::size_t k = 1; k < factor_; ++k) {
+      out.push_back(filter_.process(0.0f));
+    }
+  }
+}
+
+void Interpolator::reset() { filter_.reset(); }
+
+HoldInterpolator::HoldInterpolator(std::size_t factor) : factor_(factor) {
+  assert(factor > 0);
+}
+
+void HoldInterpolator::process(std::span<const float> in,
+                               std::vector<float>& out) {
+  for (const float x : in) {
+    out.insert(out.end(), factor_, x);
+  }
+}
+
+}  // namespace fdb::dsp

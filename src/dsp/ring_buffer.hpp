@@ -1,0 +1,74 @@
+// Fixed-capacity single-threaded ring buffer. The flowgraph scheduler and
+// the streaming decoders use it to carry samples between stages without
+// per-sample allocation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fdb::dsp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity + 1) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return storage_.size() - 1; }
+
+  std::size_t size() const {
+    return (head_ + storage_.size() - tail_) % storage_.size();
+  }
+
+  std::size_t free_space() const { return capacity() - size(); }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return free_space() == 0; }
+
+  /// Pushes one element; returns false (drops) when full.
+  bool push(const T& value) {
+    if (full()) return false;
+    storage_[head_] = value;
+    head_ = (head_ + 1) % storage_.size();
+    return true;
+  }
+
+  /// Pushes up to span.size() elements; returns how many fit.
+  std::size_t push_many(const T* data, std::size_t n) {
+    std::size_t pushed = 0;
+    while (pushed < n && push(data[pushed])) ++pushed;
+    return pushed;
+  }
+
+  /// Pops one element into `out`; returns false when empty.
+  bool pop(T& out) {
+    if (empty()) return false;
+    out = storage_[tail_];
+    tail_ = (tail_ + 1) % storage_.size();
+    return true;
+  }
+
+  /// Pops up to n elements; returns how many were produced.
+  std::size_t pop_many(T* out, std::size_t n) {
+    std::size_t popped = 0;
+    while (popped < n && pop(out[popped])) ++popped;
+    return popped;
+  }
+
+  /// Reads element i (0 = oldest) without consuming. i < size().
+  const T& peek(std::size_t i) const {
+    assert(i < size());
+    return storage_[(tail_ + i) % storage_.size()];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace fdb::dsp

@@ -1,0 +1,34 @@
+// Window functions for FIR design and spectral analysis.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <vector>
+
+namespace fdb::dsp {
+
+enum class WindowType { kRectangular, kHamming, kHann, kBlackman };
+
+/// Returns an n-point window of the requested type (symmetric form).
+inline std::vector<float> make_window(WindowType type, std::size_t n) {
+  std::vector<float> w(n, 1.0f);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 2.0 * std::numbers::pi * static_cast<double>(i) / denom;
+    double v = 1.0;
+    switch (type) {
+      case WindowType::kRectangular: v = 1.0; break;
+      case WindowType::kHamming: v = 0.54 - 0.46 * std::cos(x); break;
+      case WindowType::kHann: v = 0.5 - 0.5 * std::cos(x); break;
+      case WindowType::kBlackman:
+        v = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+    }
+    w[i] = static_cast<float>(v);
+  }
+  return w;
+}
+
+}  // namespace fdb::dsp

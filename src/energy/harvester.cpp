@@ -1,0 +1,34 @@
+#include "energy/harvester.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/db.hpp"
+
+namespace fdb::energy {
+
+Harvester::Harvester(HarvesterParams params) : params_(params) {
+  assert(params.saturation_dbm > params.sensitivity_dbm);
+  assert(params.peak_efficiency > 0.0 && params.peak_efficiency <= 1.0);
+}
+
+double Harvester::efficiency(double input_power_w) const {
+  if (input_power_w <= 0.0) return 0.0;
+  const double dbm = watt_to_dbm(input_power_w);
+  if (dbm < params_.sensitivity_dbm) return 0.0;
+  if (dbm >= params_.saturation_dbm) return params_.peak_efficiency;
+  const double frac = (dbm - params_.sensitivity_dbm) /
+                      (params_.saturation_dbm - params_.sensitivity_dbm);
+  return params_.peak_efficiency * frac;
+}
+
+double Harvester::harvested_power(double input_power_w) const {
+  return efficiency(input_power_w) * std::max(input_power_w, 0.0);
+}
+
+double Harvester::harvest(double input_power_w, double seconds) const {
+  assert(seconds >= 0.0);
+  return harvested_power(input_power_w) * seconds;
+}
+
+}  // namespace fdb::energy

@@ -1,0 +1,37 @@
+// RF energy harvester model. Substitutes for the hardware measurements
+// the paper's platform implies (see DESIGN.md): a piecewise-linear
+// efficiency curve with a sensitivity floor and a saturation ceiling,
+// which is how practical rectifiers behave.
+#pragma once
+
+namespace fdb::energy {
+
+struct HarvesterParams {
+  double sensitivity_dbm = -24.0;  // below this, nothing rectifies
+  double saturation_dbm = -4.0;    // above this, output stops growing
+  double peak_efficiency = 0.35;   // at and above saturation input
+  /// Efficiency ramps linearly in dB-input between sensitivity (0) and
+  /// saturation (peak). Crude but matches rectifier curves to first
+  /// order.
+};
+
+class Harvester {
+ public:
+  explicit Harvester(HarvesterParams params = {});
+
+  /// Conversion efficiency at the given RF input power.
+  double efficiency(double input_power_w) const;
+
+  /// Harvested power (W) at the given RF input power.
+  double harvested_power(double input_power_w) const;
+
+  /// Energy (J) harvested over `seconds` at constant input power.
+  double harvest(double input_power_w, double seconds) const;
+
+  const HarvesterParams& params() const { return params_; }
+
+ private:
+  HarvesterParams params_;
+};
+
+}  // namespace fdb::energy

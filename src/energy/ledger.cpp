@@ -1,0 +1,57 @@
+#include "energy/ledger.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace fdb::energy {
+
+double PowerProfile::power(TagState state) const {
+  switch (state) {
+    case TagState::kIdle: return idle_w;
+    case TagState::kListening: return listening_w;
+    case TagState::kBackscattering: return backscattering_w;
+    case TagState::kDecoding: return decoding_w;
+    case TagState::kCount: break;
+  }
+  return 0.0;
+}
+
+EnergyLedger::EnergyLedger(PowerProfile profile) : profile_(profile) {}
+
+void EnergyLedger::spend(TagState state, double seconds) {
+  assert(seconds >= 0.0);
+  assert(state != TagState::kCount);
+  seconds_[static_cast<std::size_t>(state)] += seconds;
+}
+
+double EnergyLedger::total_energy_j() const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < seconds_.size(); ++s) {
+    total += seconds_[s] * profile_.power(static_cast<TagState>(s));
+  }
+  return total;
+}
+
+double EnergyLedger::energy_in_state_j(TagState state) const {
+  return time_in_state_s(state) * profile_.power(state);
+}
+
+double EnergyLedger::time_in_state_s(TagState state) const {
+  assert(state != TagState::kCount);
+  return seconds_[static_cast<std::size_t>(state)];
+}
+
+double EnergyLedger::total_time_s() const {
+  double total = 0.0;
+  for (const double s : seconds_) total += s;
+  return total;
+}
+
+double EnergyLedger::energy_per_bit_j(std::uint64_t delivered_bits) const {
+  if (delivered_bits == 0) return std::numeric_limits<double>::infinity();
+  return total_energy_j() / static_cast<double>(delivered_bits);
+}
+
+void EnergyLedger::reset() { seconds_.fill(0.0); }
+
+}  // namespace fdb::energy

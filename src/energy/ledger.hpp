@@ -1,0 +1,53 @@
+// Per-state energy accounting for a tag. Costs are parameters, not
+// measurements (DESIGN.md substitution): what the experiments compare is
+// *relative* energy per delivered bit across protocols, which survives
+// any consistent choice of constants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fdb::energy {
+
+enum class TagState : std::uint8_t {
+  kIdle = 0,       // leakage only, clock gated
+  kListening,      // envelope detector + comparator active
+  kBackscattering, // switch toggling (adds switching losses)
+  kDecoding,       // digital block active
+  kCount
+};
+
+struct PowerProfile {
+  // Representative micropower-tag numbers (order-of-magnitude realistic;
+  // see e.g. published ambient-backscatter prototypes drawing ~µW).
+  double idle_w = 0.1e-6;
+  double listening_w = 0.6e-6;
+  double backscattering_w = 0.9e-6;  // listening + switch drive
+  double decoding_w = 1.5e-6;
+
+  double power(TagState state) const;
+};
+
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(PowerProfile profile = {});
+
+  /// Accumulates `seconds` spent in `state`.
+  void spend(TagState state, double seconds);
+
+  double total_energy_j() const;
+  double energy_in_state_j(TagState state) const;
+  double time_in_state_s(TagState state) const;
+  double total_time_s() const;
+
+  /// Energy per delivered payload bit given a delivery count.
+  double energy_per_bit_j(std::uint64_t delivered_bits) const;
+
+  void reset();
+
+ private:
+  PowerProfile profile_;
+  std::array<double, static_cast<std::size_t>(TagState::kCount)> seconds_{};
+};
+
+}  // namespace fdb::energy

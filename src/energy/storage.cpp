@@ -1,0 +1,41 @@
+#include "energy/storage.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fdb::energy {
+
+Storage::Storage(StorageParams params)
+    : params_(params), level_(params.initial_j) {
+  assert(params.capacity_j > 0.0);
+  assert(params.initial_j >= 0.0 && params.initial_j <= params.capacity_j);
+  assert(params.leakage_w >= 0.0);
+}
+
+void Storage::charge(double joules) {
+  assert(joules >= 0.0);
+  level_ = std::min(level_ + joules, params_.capacity_j);
+}
+
+bool Storage::draw(double joules) {
+  assert(joules >= 0.0);
+  if (joules > level_) {
+    level_ = 0.0;
+    ++outages_;
+    return false;
+  }
+  level_ -= joules;
+  return true;
+}
+
+void Storage::tick(double seconds) {
+  assert(seconds >= 0.0);
+  level_ = std::max(0.0, level_ - params_.leakage_w * seconds);
+}
+
+void Storage::reset() {
+  level_ = params_.initial_j;
+  outages_ = 0;
+}
+
+}  // namespace fdb::energy

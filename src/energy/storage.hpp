@@ -1,0 +1,43 @@
+// Storage capacitor with leakage. Models the "small storage" regime in
+// which a tag browns out if instantaneous harvest cannot cover load —
+// the condition tracked by the energy-outage metric.
+#pragma once
+
+#include <cstdint>
+
+namespace fdb::energy {
+
+struct StorageParams {
+  double capacity_j = 1.0e-4;     // usable energy at full charge
+  double initial_j = 5.0e-5;
+  double leakage_w = 1.0e-8;      // constant self-discharge
+};
+
+class Storage {
+ public:
+  explicit Storage(StorageParams params = {});
+
+  /// Adds harvested energy (clamped at capacity).
+  void charge(double joules);
+
+  /// Attempts to draw `joules`; returns false (and drains to zero) when
+  /// the store cannot cover it — an energy outage.
+  bool draw(double joules);
+
+  /// Applies leakage over an interval.
+  void tick(double seconds);
+
+  double level_j() const { return level_; }
+  double capacity_j() const { return params_.capacity_j; }
+  bool depleted() const { return level_ <= 0.0; }
+  std::uint64_t outages() const { return outages_; }
+
+  void reset();
+
+ private:
+  StorageParams params_;
+  double level_;
+  std::uint64_t outages_ = 0;
+};
+
+}  // namespace fdb::energy

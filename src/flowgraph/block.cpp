@@ -1,0 +1,48 @@
+#include "flowgraph/block.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace fdb::fg {
+
+bool WorkContext::inputs_finished() const {
+  for (const StreamBuffer* in : inputs_) {
+    if (!in->closed() || in->readable() > 0) return false;
+  }
+  return true;
+}
+
+Block::Block(std::string name, std::vector<PortSpec> inputs,
+             std::vector<PortSpec> outputs)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)) {}
+
+SyncBlockF::SyncBlockF(std::string name)
+    : Block(std::move(name), {{ItemType::kF32, "in"}},
+            {{ItemType::kF32, "out"}}) {}
+
+WorkStatus SyncBlockF::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  auto& out = ctx.out(0);
+  const std::size_t n =
+      std::min({in.readable(), out.writable(), kChunk});
+  if (n == 0) {
+    if (ctx.inputs_finished()) {
+      out.close();
+      return WorkStatus::kDone;
+    }
+    return WorkStatus::kBlocked;
+  }
+  std::array<float, kChunk> ibuf{};
+  std::array<float, kChunk> obuf{};
+  in.peek_items(std::span<float>(ibuf.data(), n));
+  process_chunk(std::span<const float>(ibuf.data(), n),
+                std::span<float>(obuf.data(), n));
+  const std::size_t written =
+      out.write_items(std::span<const float>(obuf.data(), n));
+  in.consume(written);
+  return WorkStatus::kProgress;
+}
+
+}  // namespace fdb::fg

@@ -1,0 +1,86 @@
+// Flowgraph block interface. A block declares typed input/output ports;
+// the scheduler hands it a WorkContext with the connected buffers and
+// calls work() until the graph drains.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowgraph/stream.hpp"
+
+namespace fdb::fg {
+
+struct PortSpec {
+  ItemType type;
+  std::string name;
+};
+
+/// What a work() call accomplished, for scheduler progress tracking.
+enum class WorkStatus {
+  kProgress,   // consumed or produced something; call again
+  kBlocked,    // needs more input or output space
+  kDone,       // will never produce again (sources when exhausted)
+};
+
+/// Handed to Block::work(); owns nothing.
+class WorkContext {
+ public:
+  WorkContext(std::vector<StreamBuffer*> inputs,
+              std::vector<StreamBuffer*> outputs)
+      : inputs_(std::move(inputs)), outputs_(std::move(outputs)) {}
+
+  StreamBuffer& in(std::size_t i) { return *inputs_.at(i); }
+  StreamBuffer& out(std::size_t i) { return *outputs_.at(i); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// True when every input is closed and empty — upstream is finished.
+  bool inputs_finished() const;
+
+ private:
+  std::vector<StreamBuffer*> inputs_;
+  std::vector<StreamBuffer*> outputs_;
+};
+
+class Block {
+ public:
+  Block(std::string name, std::vector<PortSpec> inputs,
+        std::vector<PortSpec> outputs);
+  virtual ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<PortSpec>& input_ports() const { return inputs_; }
+  const std::vector<PortSpec>& output_ports() const { return outputs_; }
+
+  virtual WorkStatus work(WorkContext& ctx) = 0;
+
+ private:
+  std::string name_;
+  std::vector<PortSpec> inputs_;
+  std::vector<PortSpec> outputs_;
+};
+
+using BlockPtr = std::shared_ptr<Block>;
+
+/// Convenience base for 1-in/1-out float blocks that map each input
+/// sample to one output sample (GNU Radio "sync block").
+class SyncBlockF : public Block {
+ public:
+  explicit SyncBlockF(std::string name);
+
+  WorkStatus work(WorkContext& ctx) final;
+
+ protected:
+  /// Transforms a chunk; in and out are the same length.
+  virtual void process_chunk(std::span<const float> in,
+                             std::span<float> out) = 0;
+
+ private:
+  static constexpr std::size_t kChunk = 1024;
+};
+
+}  // namespace fdb::fg

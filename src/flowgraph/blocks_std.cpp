@@ -1,0 +1,277 @@
+#include "flowgraph/blocks_std.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace fdb::fg {
+
+namespace {
+constexpr std::size_t kChunk = 1024;
+}
+
+// ---------------------------------------------------------------- sources
+
+VectorSourceF::VectorSourceF(std::vector<float> data)
+    : Block("vector_source_f", {}, {{ItemType::kF32, "out"}}),
+      data_(std::move(data)) {}
+
+WorkStatus VectorSourceF::work(WorkContext& ctx) {
+  auto& out = ctx.out(0);
+  if (pos_ >= data_.size()) {
+    out.close();
+    return WorkStatus::kDone;
+  }
+  const std::size_t n = std::min(out.writable(), data_.size() - pos_);
+  if (n == 0) return WorkStatus::kBlocked;
+  out.write_items(std::span<const float>(data_.data() + pos_, n));
+  pos_ += n;
+  return WorkStatus::kProgress;
+}
+
+VectorSourceC::VectorSourceC(std::vector<cf32> data)
+    : Block("vector_source_c", {}, {{ItemType::kCF32, "out"}}),
+      data_(std::move(data)) {}
+
+WorkStatus VectorSourceC::work(WorkContext& ctx) {
+  auto& out = ctx.out(0);
+  if (pos_ >= data_.size()) {
+    out.close();
+    return WorkStatus::kDone;
+  }
+  const std::size_t n = std::min(out.writable(), data_.size() - pos_);
+  if (n == 0) return WorkStatus::kBlocked;
+  out.write_items(std::span<const cf32>(data_.data() + pos_, n));
+  pos_ += n;
+  return WorkStatus::kProgress;
+}
+
+CallbackSourceC::CallbackSourceC(Fill fn)
+    : Block("callback_source_c", {}, {{ItemType::kCF32, "out"}}),
+      fn_(std::move(fn)) {}
+
+WorkStatus CallbackSourceC::work(WorkContext& ctx) {
+  auto& out = ctx.out(0);
+  if (pos_ >= pending_.size()) {
+    if (exhausted_) {
+      out.close();
+      return WorkStatus::kDone;
+    }
+    pending_.clear();
+    pos_ = 0;
+    if (!fn_(pending_)) exhausted_ = true;
+    if (pending_.empty()) {
+      if (exhausted_) {
+        out.close();
+        return WorkStatus::kDone;
+      }
+      return WorkStatus::kBlocked;
+    }
+  }
+  const std::size_t n = std::min(out.writable(), pending_.size() - pos_);
+  if (n == 0) return WorkStatus::kBlocked;
+  out.write_items(std::span<const cf32>(pending_.data() + pos_, n));
+  pos_ += n;
+  return WorkStatus::kProgress;
+}
+
+// ------------------------------------------------------------------ sinks
+
+VectorSinkF::VectorSinkF()
+    : Block("vector_sink_f", {{ItemType::kF32, "in"}}, {}) {}
+
+WorkStatus VectorSinkF::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  const std::size_t n = std::min(in.readable(), kChunk);
+  if (n == 0) {
+    return ctx.inputs_finished() ? WorkStatus::kDone : WorkStatus::kBlocked;
+  }
+  std::array<float, kChunk> buf{};
+  in.peek_items(std::span<float>(buf.data(), n));
+  data_.insert(data_.end(), buf.begin(), buf.begin() + static_cast<long>(n));
+  in.consume(n);
+  return WorkStatus::kProgress;
+}
+
+VectorSinkC::VectorSinkC()
+    : Block("vector_sink_c", {{ItemType::kCF32, "in"}}, {}) {}
+
+WorkStatus VectorSinkC::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  const std::size_t n = std::min(in.readable(), kChunk);
+  if (n == 0) {
+    return ctx.inputs_finished() ? WorkStatus::kDone : WorkStatus::kBlocked;
+  }
+  std::array<cf32, kChunk> buf{};
+  in.peek_items(std::span<cf32>(buf.data(), n));
+  data_.insert(data_.end(), buf.begin(), buf.begin() + static_cast<long>(n));
+  in.consume(n);
+  return WorkStatus::kProgress;
+}
+
+NullSinkF::NullSinkF() : Block("null_sink_f", {{ItemType::kF32, "in"}}, {}) {}
+
+WorkStatus NullSinkF::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  const std::size_t n = in.readable();
+  if (n == 0) {
+    return ctx.inputs_finished() ? WorkStatus::kDone : WorkStatus::kBlocked;
+  }
+  in.consume(n);
+  consumed_ += n;
+  return WorkStatus::kProgress;
+}
+
+ProbeStatsF::ProbeStatsF()
+    : Block("probe_stats_f", {{ItemType::kF32, "in"}}, {}) {}
+
+WorkStatus ProbeStatsF::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  const std::size_t n = std::min(in.readable(), kChunk);
+  if (n == 0) {
+    return ctx.inputs_finished() ? WorkStatus::kDone : WorkStatus::kBlocked;
+  }
+  std::array<float, kChunk> buf{};
+  in.peek_items(std::span<float>(buf.data(), n));
+  for (std::size_t i = 0; i < n; ++i) stats_.add(buf[i]);
+  in.consume(n);
+  return WorkStatus::kProgress;
+}
+
+// ------------------------------------------------------------- transforms
+
+FunctionBlockF::FunctionBlockF(std::string name, Fn fn)
+    : SyncBlockF(std::move(name)), fn_(std::move(fn)) {}
+
+void FunctionBlockF::process_chunk(std::span<const float> in,
+                                   std::span<float> out) {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = fn_(in[i]);
+}
+
+FirBlockF::FirBlockF(std::vector<float> taps)
+    : SyncBlockF("fir_f"), filter_(std::move(taps)) {}
+
+void FirBlockF::process_chunk(std::span<const float> in,
+                              std::span<float> out) {
+  filter_.process(in, out);
+}
+
+EnvelopeBlock::EnvelopeBlock(double rc_cutoff_hz, double sample_rate_hz)
+    : Block("envelope", {{ItemType::kCF32, "in"}}, {{ItemType::kF32, "out"}}),
+      detector_(rc_cutoff_hz, sample_rate_hz) {}
+
+WorkStatus EnvelopeBlock::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  auto& out = ctx.out(0);
+  const std::size_t n = std::min({in.readable(), out.writable(), kChunk});
+  if (n == 0) {
+    if (ctx.inputs_finished()) {
+      out.close();
+      return WorkStatus::kDone;
+    }
+    return WorkStatus::kBlocked;
+  }
+  std::array<cf32, kChunk> ibuf{};
+  std::array<float, kChunk> obuf{};
+  in.peek_items(std::span<cf32>(ibuf.data(), n));
+  detector_.process(std::span<const cf32>(ibuf.data(), n),
+                    std::span<float>(obuf.data(), n));
+  out.write_items(std::span<const float>(obuf.data(), n));
+  in.consume(n);
+  return WorkStatus::kProgress;
+}
+
+MovingAverageBlockF::MovingAverageBlockF(std::size_t window)
+    : SyncBlockF("moving_average_f"), avg_(window) {}
+
+void MovingAverageBlockF::process_chunk(std::span<const float> in,
+                                        std::span<float> out) {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = avg_.process(in[i]);
+}
+
+KeepOneInN::KeepOneInN(std::size_t n)
+    : Block("keep_one_in_n", {{ItemType::kF32, "in"}},
+            {{ItemType::kF32, "out"}}),
+      n_(n) {}
+
+WorkStatus KeepOneInN::work(WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  auto& out = ctx.out(0);
+  std::size_t processed = 0;
+  std::array<float, kChunk> ibuf{};
+  const std::size_t n = std::min(in.readable(), kChunk);
+  if (n == 0) {
+    if (ctx.inputs_finished()) {
+      out.close();
+      return WorkStatus::kDone;
+    }
+    return WorkStatus::kBlocked;
+  }
+  in.peek_items(std::span<float>(ibuf.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (phase_ == 0) {
+      if (out.writable() == 0) break;
+      out.write_items(std::span<const float>(&ibuf[i], 1));
+    }
+    phase_ = (phase_ + 1) % n_;
+    ++processed;
+  }
+  if (processed == 0) return WorkStatus::kBlocked;
+  in.consume(processed);
+  return WorkStatus::kProgress;
+}
+
+AddBlockF::AddBlockF()
+    : Block("add_f", {{ItemType::kF32, "a"}, {ItemType::kF32, "b"}},
+            {{ItemType::kF32, "out"}}) {}
+
+WorkStatus AddBlockF::work(WorkContext& ctx) {
+  auto& a = ctx.in(0);
+  auto& b = ctx.in(1);
+  auto& out = ctx.out(0);
+  const std::size_t n =
+      std::min({a.readable(), b.readable(), out.writable(), kChunk});
+  if (n == 0) {
+    if (ctx.inputs_finished()) {
+      out.close();
+      return WorkStatus::kDone;
+    }
+    return WorkStatus::kBlocked;
+  }
+  std::array<float, kChunk> abuf{}, bbuf{}, obuf{};
+  a.peek_items(std::span<float>(abuf.data(), n));
+  b.peek_items(std::span<float>(bbuf.data(), n));
+  for (std::size_t i = 0; i < n; ++i) obuf[i] = abuf[i] + bbuf[i];
+  out.write_items(std::span<const float>(obuf.data(), n));
+  a.consume(n);
+  b.consume(n);
+  return WorkStatus::kProgress;
+}
+
+MultiplyBlockC::MultiplyBlockC()
+    : Block("multiply_c", {{ItemType::kCF32, "a"}, {ItemType::kCF32, "b"}},
+            {{ItemType::kCF32, "out"}}) {}
+
+WorkStatus MultiplyBlockC::work(WorkContext& ctx) {
+  auto& a = ctx.in(0);
+  auto& b = ctx.in(1);
+  auto& out = ctx.out(0);
+  const std::size_t n =
+      std::min({a.readable(), b.readable(), out.writable(), kChunk});
+  if (n == 0) {
+    if (ctx.inputs_finished()) {
+      out.close();
+      return WorkStatus::kDone;
+    }
+    return WorkStatus::kBlocked;
+  }
+  std::array<cf32, kChunk> abuf{}, bbuf{}, obuf{};
+  a.peek_items(std::span<cf32>(abuf.data(), n));
+  b.peek_items(std::span<cf32>(bbuf.data(), n));
+  for (std::size_t i = 0; i < n; ++i) obuf[i] = abuf[i] * bbuf[i];
+  out.write_items(std::span<const cf32>(obuf.data(), n));
+  a.consume(n);
+  b.consume(n);
+  return WorkStatus::kProgress;
+}
+
+}  // namespace fdb::fg

@@ -1,0 +1,169 @@
+// Standard library of flowgraph blocks: sources, sinks, arithmetic and
+// adapters around the dsp primitives. These are the pieces a user wires
+// together in the examples (see examples/spectrum_probe.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dsp/envelope.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/moving_average.hpp"
+#include "flowgraph/block.hpp"
+#include "util/stats.hpp"
+
+namespace fdb::fg {
+
+/// Emits a fixed vector once, then reports done.
+class VectorSourceF : public Block {
+ public:
+  explicit VectorSourceF(std::vector<float> data);
+  WorkStatus work(WorkContext& ctx) override;
+
+ private:
+  std::vector<float> data_;
+  std::size_t pos_ = 0;
+};
+
+class VectorSourceC : public Block {
+ public:
+  explicit VectorSourceC(std::vector<cf32> data);
+  WorkStatus work(WorkContext& ctx) override;
+
+ private:
+  std::vector<cf32> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Pull-based source: calls `fn` to fill chunks until it returns false.
+class CallbackSourceC : public Block {
+ public:
+  using Fill = std::function<bool(std::vector<cf32>&)>;
+  explicit CallbackSourceC(Fill fn);
+  WorkStatus work(WorkContext& ctx) override;
+
+ private:
+  Fill fn_;
+  std::vector<cf32> pending_;
+  std::size_t pos_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Collects everything into a vector (test/analysis sink).
+class VectorSinkF : public Block {
+ public:
+  VectorSinkF();
+  WorkStatus work(WorkContext& ctx) override;
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  std::vector<float> data_;
+};
+
+class VectorSinkC : public Block {
+ public:
+  VectorSinkC();
+  WorkStatus work(WorkContext& ctx) override;
+  const std::vector<cf32>& data() const { return data_; }
+
+ private:
+  std::vector<cf32> data_;
+};
+
+/// Discards input (keeps throughput measurements honest).
+class NullSinkF : public Block {
+ public:
+  NullSinkF();
+  WorkStatus work(WorkContext& ctx) override;
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  std::uint64_t consumed_ = 0;
+};
+
+/// Streams into a RunningStats (mean/var probes in examples).
+class ProbeStatsF : public Block {
+ public:
+  ProbeStatsF();
+  WorkStatus work(WorkContext& ctx) override;
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  RunningStats stats_;
+};
+
+/// Per-sample lambda transform, float -> float.
+class FunctionBlockF : public SyncBlockF {
+ public:
+  using Fn = std::function<float(float)>;
+  FunctionBlockF(std::string name, Fn fn);
+
+ protected:
+  void process_chunk(std::span<const float> in, std::span<float> out) override;
+
+ private:
+  Fn fn_;
+};
+
+/// FIR filter block (float).
+class FirBlockF : public SyncBlockF {
+ public:
+  explicit FirBlockF(std::vector<float> taps);
+
+ protected:
+  void process_chunk(std::span<const float> in, std::span<float> out) override;
+
+ private:
+  dsp::FirFilterF filter_;
+};
+
+/// Envelope detector block: cf32 in, f32 out (1:1).
+class EnvelopeBlock : public Block {
+ public:
+  EnvelopeBlock(double rc_cutoff_hz, double sample_rate_hz);
+  WorkStatus work(WorkContext& ctx) override;
+
+ private:
+  dsp::EnvelopeDetector detector_;
+};
+
+/// Moving average block (float).
+class MovingAverageBlockF : public SyncBlockF {
+ public:
+  explicit MovingAverageBlockF(std::size_t window);
+
+ protected:
+  void process_chunk(std::span<const float> in, std::span<float> out) override;
+
+ private:
+  dsp::MovingAverage<float> avg_;
+};
+
+/// Keep-1-in-M decimator (float), no anti-alias filter (pair with
+/// FirBlockF or MovingAverageBlockF upstream as appropriate).
+class KeepOneInN : public Block {
+ public:
+  explicit KeepOneInN(std::size_t n);
+  WorkStatus work(WorkContext& ctx) override;
+
+ private:
+  std::size_t n_;
+  std::size_t phase_ = 0;
+};
+
+/// Element-wise sum of two float streams.
+class AddBlockF : public Block {
+ public:
+  AddBlockF();
+  WorkStatus work(WorkContext& ctx) override;
+};
+
+/// Element-wise product of two cf32 streams (mixing / reflection).
+class MultiplyBlockC : public Block {
+ public:
+  MultiplyBlockC();
+  WorkStatus work(WorkContext& ctx) override;
+};
+
+}  // namespace fdb::fg

@@ -1,0 +1,113 @@
+#include "flowgraph/graph.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace fdb::fg {
+
+Graph::Graph(std::size_t default_buffer_items)
+    : default_buffer_items_(default_buffer_items) {}
+
+std::size_t Graph::add(BlockPtr block) {
+  blocks_.push_back(std::move(block));
+  in_wiring_.emplace_back(blocks_.back()->input_ports().size());
+  out_wiring_.emplace_back(blocks_.back()->output_ports().size());
+  return blocks_.size() - 1;
+}
+
+bool Graph::connect(std::size_t src, std::size_t src_port, std::size_t dst,
+                    std::size_t dst_port, std::size_t buffer_items) {
+  if (src >= blocks_.size() || dst >= blocks_.size()) {
+    log_error("connect: block index out of range");
+    return false;
+  }
+  const auto& outs = blocks_[src]->output_ports();
+  const auto& ins = blocks_[dst]->input_ports();
+  if (src_port >= outs.size() || dst_port >= ins.size()) {
+    log_error("connect: port index out of range for " + blocks_[src]->name() +
+              " -> " + blocks_[dst]->name());
+    return false;
+  }
+  if (outs[src_port].type != ins[dst_port].type) {
+    log_error(std::string("connect: type mismatch ") +
+              item_type_name(outs[src_port].type) + " -> " +
+              item_type_name(ins[dst_port].type));
+    return false;
+  }
+  if (out_wiring_[src][src_port] || in_wiring_[dst][dst_port]) {
+    log_error("connect: port already wired");
+    return false;
+  }
+  const std::size_t cap =
+      buffer_items ? buffer_items : default_buffer_items_;
+  auto buffer = std::make_shared<StreamBuffer>(outs[src_port].type, cap);
+  out_wiring_[src][src_port] = buffer;
+  in_wiring_[dst][dst_port] = buffer;
+  return true;
+}
+
+std::string Graph::validate() const {
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (std::size_t p = 0; p < in_wiring_[b].size(); ++p) {
+      if (!in_wiring_[b][p]) {
+        std::ostringstream os;
+        os << "input port " << p << " of block '" << blocks_[b]->name()
+           << "' is not connected";
+        return os.str();
+      }
+    }
+    for (std::size_t p = 0; p < out_wiring_[b].size(); ++p) {
+      if (!out_wiring_[b][p]) {
+        std::ostringstream os;
+        os << "output port " << p << " of block '" << blocks_[b]->name()
+           << "' is not connected";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::size_t Graph::run(std::size_t max_iterations) {
+  const std::string problem = validate();
+  if (!problem.empty()) {
+    log_error("graph invalid: " + problem);
+    return 0;
+  }
+  std::size_t progress_calls = 0;
+  std::vector<bool> done(blocks_.size(), false);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool any_progress = false;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (done[b]) continue;
+      std::vector<StreamBuffer*> ins;
+      ins.reserve(in_wiring_[b].size());
+      for (const auto& buf : in_wiring_[b]) ins.push_back(buf.get());
+      std::vector<StreamBuffer*> outs;
+      outs.reserve(out_wiring_[b].size());
+      for (const auto& buf : out_wiring_[b]) outs.push_back(buf.get());
+      WorkContext ctx(std::move(ins), std::move(outs));
+      // Let the block drain as much as it can this pass.
+      for (;;) {
+        const WorkStatus status = blocks_[b]->work(ctx);
+        if (status == WorkStatus::kProgress) {
+          ++progress_calls;
+          any_progress = true;
+          continue;
+        }
+        if (status == WorkStatus::kDone) {
+          done[b] = true;
+          // A finished block closes all its outputs so downstream can
+          // flush and finish too.
+          for (auto& buf : out_wiring_[b]) buf->close();
+        }
+        break;
+      }
+    }
+    if (!any_progress) break;
+  }
+  return progress_calls;
+}
+
+}  // namespace fdb::fg

@@ -1,0 +1,56 @@
+// Flowgraph container + single-threaded round-robin scheduler.
+//
+// Deterministic by construction: blocks run in topological insertion
+// order until no block can make progress; the graph is "done" when all
+// blocks report done/blocked and every buffer upstream is closed+empty.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowgraph/block.hpp"
+
+namespace fdb::fg {
+
+class Graph {
+ public:
+  /// `default_buffer_items` sizes edge buffers unless overridden in
+  /// connect().
+  explicit Graph(std::size_t default_buffer_items = 8192);
+
+  /// Adds a block; returns its handle index.
+  std::size_t add(BlockPtr block);
+
+  /// Connects src's output port to dst's input port. Type-checks the
+  /// ports and rejects double-wiring. Returns false (and logs) on error.
+  bool connect(std::size_t src, std::size_t src_port, std::size_t dst,
+               std::size_t dst_port, std::size_t buffer_items = 0);
+
+  /// Validates that every port is wired. Returns a description of the
+  /// first problem, or empty string if OK.
+  std::string validate() const;
+
+  /// Runs until quiescent. Returns total work() calls that made
+  /// progress (useful for tests asserting the graph actually ran).
+  std::size_t run(std::size_t max_iterations = 1'000'000);
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  Block& block(std::size_t i) { return *blocks_.at(i); }
+
+ private:
+  struct Endpoint {
+    std::size_t block = SIZE_MAX;
+    std::size_t port = SIZE_MAX;
+    std::shared_ptr<StreamBuffer> buffer;
+  };
+
+  std::size_t default_buffer_items_;
+  std::vector<BlockPtr> blocks_;
+  // Wiring: per block, per port, the connected buffer.
+  std::vector<std::vector<std::shared_ptr<StreamBuffer>>> in_wiring_;
+  std::vector<std::vector<std::shared_ptr<StreamBuffer>>> out_wiring_;
+};
+
+}  // namespace fdb::fg

@@ -1,0 +1,77 @@
+#include "flowgraph/stream.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace fdb::fg {
+
+std::size_t item_size(ItemType type) {
+  switch (type) {
+    case ItemType::kF32: return sizeof(float);
+    case ItemType::kCF32: return sizeof(cf32);
+    case ItemType::kU8: return sizeof(std::uint8_t);
+  }
+  return 1;
+}
+
+const char* item_type_name(ItemType type) {
+  switch (type) {
+    case ItemType::kF32: return "f32";
+    case ItemType::kCF32: return "cf32";
+    case ItemType::kU8: return "u8";
+  }
+  return "?";
+}
+
+StreamBuffer::StreamBuffer(ItemType type, std::size_t capacity_items)
+    : type_(type),
+      capacity_(capacity_items),
+      isize_(item_size(type)),
+      bytes_(capacity_items * isize_) {
+  assert(capacity_items > 0);
+}
+
+std::size_t StreamBuffer::write(const void* data, std::size_t n) {
+  const std::size_t accept = std::min(n, writable());
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < accept; ++i) {
+    const std::size_t slot =
+        static_cast<std::size_t>((write_count_ + i) % capacity_);
+    std::memcpy(&bytes_[slot * isize_], src + i * isize_, isize_);
+  }
+  write_count_ += accept;
+  return accept;
+}
+
+std::size_t StreamBuffer::peek(void* out, std::size_t n) const {
+  const std::size_t give = std::min(n, readable());
+  auto* dst = static_cast<std::uint8_t*>(out);
+  for (std::size_t i = 0; i < give; ++i) {
+    const std::size_t slot =
+        static_cast<std::size_t>((read_count_ + i) % capacity_);
+    std::memcpy(dst + i * isize_, &bytes_[slot * isize_], isize_);
+  }
+  return give;
+}
+
+void StreamBuffer::consume(std::size_t n) {
+  assert(n <= readable());
+  read_count_ += n;
+  while (!tags_.empty() && tags_.front().offset < read_count_) {
+    tags_.pop_front();
+  }
+}
+
+void StreamBuffer::add_tag(Tag tag) { tags_.push_back(std::move(tag)); }
+
+std::vector<Tag> StreamBuffer::tags_in_read_range(std::size_t range) {
+  std::vector<Tag> result;
+  const std::uint64_t lo = read_count_;
+  const std::uint64_t hi = read_count_ + range;
+  for (const Tag& tag : tags_) {
+    if (tag.offset >= lo && tag.offset < hi) result.push_back(tag);
+  }
+  return result;
+}
+
+}  // namespace fdb::fg

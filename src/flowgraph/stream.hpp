@@ -1,0 +1,89 @@
+// Type-erased stream buffers connecting flowgraph blocks, in the style
+// of GNU Radio: a stream is a FIFO of fixed-size items plus a sparse
+// sequence of tags addressed by absolute item index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdb::fg {
+
+/// Item types carried on streams. The engine checks these at connect()
+/// time so a wiring mistake fails fast instead of decoding garbage.
+enum class ItemType : std::uint8_t { kF32, kCF32, kU8 };
+
+std::size_t item_size(ItemType type);
+const char* item_type_name(ItemType type);
+
+/// A tag rides alongside the stream at a specific absolute item offset —
+/// e.g. the framer tags the first sample of each frame.
+struct Tag {
+  std::uint64_t offset = 0;
+  std::string key;
+  double value = 0.0;
+};
+
+/// Byte-backed FIFO of items of one ItemType, with absolute read/write
+/// counters for tag addressing. Single-threaded by design: the scheduler
+/// serialises block execution.
+class StreamBuffer {
+ public:
+  StreamBuffer(ItemType type, std::size_t capacity_items);
+
+  ItemType type() const { return type_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t readable() const { return write_count_ - read_count_ >
+                                        0 ? static_cast<std::size_t>(write_count_ - read_count_) : 0; }
+  std::size_t writable() const { return capacity_ - readable(); }
+
+  std::uint64_t items_written() const { return write_count_; }
+  std::uint64_t items_read() const { return read_count_; }
+
+  /// Appends up to n items from raw bytes; returns items accepted.
+  std::size_t write(const void* data, std::size_t n);
+
+  /// Copies up to n items into `out` without consuming.
+  std::size_t peek(void* out, std::size_t n) const;
+
+  /// Consumes n items (n <= readable()).
+  void consume(std::size_t n);
+
+  /// Typed convenience wrappers; T must match the declared type's size.
+  template <typename T>
+  std::size_t write_items(std::span<const T> items) {
+    return write(items.data(), items.size());
+  }
+  template <typename T>
+  std::size_t peek_items(std::span<T> out) const {
+    return peek(out.data(), out.size());
+  }
+
+  /// Adds a tag at absolute offset >= items_written() is typical.
+  void add_tag(Tag tag);
+
+  /// Returns tags in [items_read(), items_read()+range) and drops tags
+  /// older than the read pointer.
+  std::vector<Tag> tags_in_read_range(std::size_t range);
+
+  /// True when the upstream block has declared it will produce no more.
+  bool closed() const { return closed_; }
+  void close() { closed_ = true; }
+
+ private:
+  ItemType type_;
+  std::size_t capacity_;
+  std::size_t isize_;
+  std::vector<std::uint8_t> bytes_;  // circular, capacity_ * isize_
+  std::uint64_t read_count_ = 0;
+  std::uint64_t write_count_ = 0;
+  std::deque<Tag> tags_;
+  bool closed_ = false;
+};
+
+}  // namespace fdb::fg

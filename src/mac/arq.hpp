@@ -1,0 +1,95 @@
+// Link-layer retransmission engines. Time is counted in data-stream
+// bit-times so goodput is directly the fraction of airtime carrying
+// novel payload, comparable to core/theory.hpp's closed forms.
+//
+//  * StopAndWaitArq        — the conventional backscatter baseline: send
+//    the whole frame, stop, wait for a half-duplex ACK exchange, repeat
+//    on failure.
+//  * SelectiveRepeatArq    — pipelined frame-level baseline (optimistic:
+//    turnaround hidden by the window).
+//  * FullDuplexInstantArq  — the paper's protocol: per-block CRC verdicts
+//    arrive on the concurrent feedback stream decode_delay slots after
+//    the block; corrupted blocks are re-queued immediately and the frame
+//    ends with a verification pass that catches false ACKs. No
+//    turnaround is ever paid; an early-termination rule stops a frame as
+//    soon as all blocks are acknowledged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mac/block_channel.hpp"
+
+namespace fdb::mac {
+
+struct ArqParams {
+  std::size_t payload_bytes = 256;   // per frame
+  std::size_t block_bytes = 8;       // FD-ARQ granularity
+  std::size_t frame_overhead_bits = 32;
+  std::size_t block_crc_bits = 8;
+  std::size_t preamble_bits = 21;
+  std::size_t ack_turnaround_bits = 64;  // half-duplex feedback cost
+  std::size_t decode_delay_slots = 1;    // FD verdict latency
+  std::size_t max_attempts = 64;         // per frame/block safety valve
+};
+
+struct ArqStats {
+  std::uint64_t frames_attempted = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_failed = 0;      // gave up after max_attempts
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t blocks_retransmitted = 0;
+  std::uint64_t airtime_bits = 0;       // everything the link was busy
+  std::uint64_t payload_bits_delivered = 0;
+  std::uint64_t false_nacks = 0;
+  std::uint64_t false_acks_caught = 0;
+
+  /// Delivered payload bits per bit-time of airtime.
+  double goodput() const {
+    return airtime_bits
+               ? static_cast<double>(payload_bits_delivered) /
+                     static_cast<double>(airtime_bits)
+               : 0.0;
+  }
+
+  /// Mean airtime to deliver one frame (bit-times).
+  double mean_frame_latency_bits() const {
+    return frames_delivered ? static_cast<double>(airtime_bits) /
+                                  static_cast<double>(frames_delivered)
+                            : 0.0;
+  }
+};
+
+class ArqEngine {
+ public:
+  virtual ~ArqEngine() = default;
+
+  /// Transfers `num_frames` frames over `channel`; returns statistics.
+  virtual ArqStats run(std::size_t num_frames, BlockChannel& channel,
+                       const ArqParams& params) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class StopAndWaitArq final : public ArqEngine {
+ public:
+  ArqStats run(std::size_t num_frames, BlockChannel& channel,
+               const ArqParams& params) override;
+  const char* name() const override { return "stop_and_wait"; }
+};
+
+class SelectiveRepeatArq final : public ArqEngine {
+ public:
+  ArqStats run(std::size_t num_frames, BlockChannel& channel,
+               const ArqParams& params) override;
+  const char* name() const override { return "selective_repeat"; }
+};
+
+class FullDuplexInstantArq final : public ArqEngine {
+ public:
+  ArqStats run(std::size_t num_frames, BlockChannel& channel,
+               const ArqParams& params) override;
+  const char* name() const override { return "fd_instant"; }
+};
+
+}  // namespace fdb::mac

@@ -1,0 +1,41 @@
+#include "mac/block_channel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::mac {
+
+IidBlockChannel::IidBlockChannel(double data_ber, double feedback_ber,
+                                 Rng rng)
+    : data_ber_(data_ber), feedback_ber_(feedback_ber), rng_(rng) {
+  assert(data_ber >= 0.0 && data_ber <= 1.0);
+  assert(feedback_ber >= 0.0 && feedback_ber <= 1.0);
+}
+
+bool IidBlockChannel::block_corrupted(std::size_t bits) {
+  // P(any of `bits` i.i.d. errors) without looping over bits.
+  const double p_ok = std::pow(1.0 - data_ber_, static_cast<double>(bits));
+  return rng_.chance(1.0 - p_ok);
+}
+
+bool IidBlockChannel::feedback_flipped() {
+  return rng_.chance(feedback_ber_);
+}
+
+bool TraceBlockChannel::block_corrupted(std::size_t) {
+  if (!blocks_.empty()) {
+    last_block_ = blocks_.front();
+    blocks_.pop_front();
+  }
+  return last_block_;
+}
+
+bool TraceBlockChannel::feedback_flipped() {
+  if (!flips_.empty()) {
+    last_flip_ = flips_.front();
+    flips_.pop_front();
+  }
+  return last_flip_;
+}
+
+}  // namespace fdb::mac

@@ -1,0 +1,63 @@
+// Link-layer channel abstraction. The ARQ engines run over this
+// interface so they can be driven either by i.i.d. bit-error processes
+// (fast protocol sweeps, E4-E6) or by verdict traces recorded from the
+// sample-level PHY simulator (integration tests closing the loop).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace fdb::mac {
+
+class BlockChannel {
+ public:
+  virtual ~BlockChannel() = default;
+
+  /// Whether a data block of `bits` on-air bits arrives corrupted.
+  virtual bool block_corrupted(std::size_t bits) = 0;
+
+  /// Whether a single feedback verdict bit is flipped in transit.
+  virtual bool feedback_flipped() = 0;
+};
+
+/// i.i.d. bit errors at fixed BERs — the analytic setting of
+/// core/theory.hpp, so sim and model columns are directly comparable.
+class IidBlockChannel final : public BlockChannel {
+ public:
+  IidBlockChannel(double data_ber, double feedback_ber, Rng rng);
+
+  bool block_corrupted(std::size_t bits) override;
+  bool feedback_flipped() override;
+
+  double data_ber() const { return data_ber_; }
+  double feedback_ber() const { return feedback_ber_; }
+
+ private:
+  double data_ber_;
+  double feedback_ber_;
+  Rng rng_;
+};
+
+/// Replays pre-recorded verdicts (e.g. produced by sim::LinkSimulator).
+/// When a queue runs dry the channel repeats its last answer, keeping
+/// long protocol runs well-defined.
+class TraceBlockChannel final : public BlockChannel {
+ public:
+  TraceBlockChannel() = default;
+
+  void push_block_verdict(bool corrupted) { blocks_.push_back(corrupted); }
+  void push_feedback_flip(bool flipped) { flips_.push_back(flipped); }
+
+  bool block_corrupted(std::size_t bits) override;
+  bool feedback_flipped() override;
+
+ private:
+  std::deque<bool> blocks_;
+  std::deque<bool> flips_;
+  bool last_block_ = false;
+  bool last_flip_ = false;
+};
+
+}  // namespace fdb::mac

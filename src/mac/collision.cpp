@@ -1,0 +1,134 @@
+#include "mac/collision.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fdb::mac {
+namespace {
+
+struct Tag {
+  enum class State { kBackoff, kTransmitting, kWaitingAck };
+  State state = State::kBackoff;
+  std::size_t counter = 0;       // slots remaining in current state
+  std::size_t progress = 0;      // blocks transmitted of current frame
+  std::size_t backoff_exponent = 0;
+  std::uint64_t frame_start_slot = 0;
+  bool collided = false;
+};
+
+std::size_t draw_backoff(Rng& rng, const CollisionSimParams& params,
+                         std::size_t exponent) {
+  const std::size_t window =
+      params.backoff_min_slots
+      << std::min(exponent, params.backoff_max_exponent);
+  return 1 + static_cast<std::size_t>(rng.uniform_int(window));
+}
+
+}  // namespace
+
+CollisionStats run_collision_sim(MacKind kind,
+                                 const CollisionSimParams& params) {
+  assert(params.num_tags >= 1);
+  Rng rng(params.seed);
+  std::vector<Tag> tags(params.num_tags);
+  for (auto& tag : tags) {
+    tag.counter = draw_backoff(rng, params, 0);
+  }
+
+  CollisionStats stats;
+  stats.slots_simulated = params.sim_slots;
+  std::uint64_t idle_wait_slots = 0;  // all-quiet slots spent in timeouts
+
+  for (std::uint64_t slot = 0; slot < params.sim_slots; ++slot) {
+    std::size_t active = 0;
+    bool any_waiting = false;
+    for (const auto& tag : tags) {
+      if (tag.state == Tag::State::kTransmitting) ++active;
+      if (tag.state == Tag::State::kWaitingAck) any_waiting = true;
+    }
+    if (active > 0) {
+      ++stats.busy_slots;
+    } else if (any_waiting) {
+      // Dead air: the channel idles while ACK timers run down.
+      ++idle_wait_slots;
+    }
+    const bool collision_now = active >= 2;
+
+    for (auto& tag : tags) {
+      switch (tag.state) {
+        case Tag::State::kBackoff: {
+          if (--tag.counter == 0) {
+            tag.state = Tag::State::kTransmitting;
+            tag.progress = 0;
+            tag.collided = false;
+            tag.frame_start_slot = slot;
+          }
+          break;
+        }
+        case Tag::State::kTransmitting: {
+          if (collision_now) tag.collided = true;
+          ++tag.progress;
+
+          const bool fd = kind == MacKind::kCollisionNotify;
+          if (fd && tag.collided &&
+              tag.progress >= params.notify_delay_slots) {
+            // Receiver's collision notification arrived: abort now.
+            ++stats.collisions;
+            ++tag.backoff_exponent;
+            tag.state = Tag::State::kBackoff;
+            tag.counter = draw_backoff(rng, params, tag.backoff_exponent);
+            break;
+          }
+          if (tag.progress >= params.frame_blocks) {
+            if (kind == MacKind::kTimeout) {
+              tag.state = Tag::State::kWaitingAck;
+              tag.counter = params.timeout_slots;
+            } else {
+              // FD: verdicts already known at frame end.
+              if (!tag.collided) {
+                ++stats.frames_delivered;
+                stats.useful_slots += params.frame_blocks;
+                stats.total_delivery_latency_slots +=
+                    static_cast<double>(slot - tag.frame_start_slot + 1);
+                tag.backoff_exponent = 0;
+              } else {
+                ++stats.collisions;
+                ++tag.backoff_exponent;
+              }
+              tag.state = Tag::State::kBackoff;
+              tag.counter = draw_backoff(rng, params, tag.backoff_exponent);
+            }
+          }
+          break;
+        }
+        case Tag::State::kWaitingAck: {
+          if (--tag.counter == 0) {
+            if (!tag.collided) {
+              ++stats.frames_delivered;
+              stats.useful_slots += params.frame_blocks;
+              stats.total_delivery_latency_slots +=
+                  static_cast<double>(slot - tag.frame_start_slot + 1);
+              tag.backoff_exponent = 0;
+            } else {
+              ++stats.collisions;
+              ++tag.backoff_exponent;
+            }
+            tag.state = Tag::State::kBackoff;
+            tag.counter = draw_backoff(rng, params, tag.backoff_exponent);
+          }
+          break;
+        }
+      }
+    }
+  }
+  // Channel-centric waste: busy airtime that never produced a delivered
+  // frame, plus dead air spent running out ACK timers.
+  stats.wasted_slots =
+      (stats.busy_slots > stats.useful_slots
+           ? stats.busy_slots - stats.useful_slots
+           : 0) +
+      idle_wait_slots;
+  return stats;
+}
+
+}  // namespace fdb::mac

@@ -1,0 +1,73 @@
+// Multi-tag contention (experiment E6). Backscatter tags cannot carrier
+// -sense each other's reflections reliably, so collisions are common;
+// the question is how fast they are *detected*.
+//
+//  * TimeoutMac         — conventional: a collision is discovered only
+//    when the expected ACK never arrives, wasting the entire frame plus
+//    the timeout.
+//  * CollisionNotifyMac — full-duplex: the receiver sees the corrupted
+//    preamble/early blocks and immediately asserts a "collision" code on
+//    the feedback stream; the colliding transmitters abort within
+//    `notify_delay_slots` block-times and back off.
+//
+// The simulation is slotted in block-times, saturated traffic (every
+// tag always has a frame), binary-exponential backoff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fdb::mac {
+
+struct CollisionSimParams {
+  std::size_t num_tags = 4;
+  std::size_t frame_blocks = 32;        // frame length in block slots
+  std::size_t timeout_slots = 8;        // ACK wait for TimeoutMac
+  std::size_t notify_delay_slots = 2;   // FD collision detection latency
+  std::size_t backoff_min_slots = 4;    // initial backoff window
+  std::size_t backoff_max_exponent = 6; // BEB cap
+  std::size_t sim_slots = 200'000;      // simulated time
+  std::uint64_t seed = 1;
+};
+
+struct CollisionStats {
+  std::uint64_t slots_simulated = 0;
+  std::uint64_t busy_slots = 0;     // channel slots with >=1 transmitter
+  std::uint64_t useful_slots = 0;   // slots inside cleanly delivered frames
+  /// Channel-centric waste: busy slots that never became part of a
+  /// delivered frame, plus dead-air slots where every tag sat in an ACK
+  /// timeout. Always <= slots_simulated.
+  std::uint64_t wasted_slots = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t collisions = 0;
+  double total_delivery_latency_slots = 0;  // arrival->delivery, delivered
+
+  double wasted_airtime_fraction() const {
+    return slots_simulated
+               ? static_cast<double>(wasted_slots) /
+                     static_cast<double>(slots_simulated)
+               : 0.0;
+  }
+  double goodput_slots_fraction() const {
+    return slots_simulated
+               ? static_cast<double>(useful_slots) /
+                     static_cast<double>(slots_simulated)
+               : 0.0;
+  }
+  double mean_delivery_latency() const {
+    return frames_delivered ? total_delivery_latency_slots /
+                                  static_cast<double>(frames_delivered)
+                            : 0.0;
+  }
+};
+
+enum class MacKind { kTimeout, kCollisionNotify };
+
+/// Runs the slotted contention simulation for the selected MAC.
+CollisionStats run_collision_sim(MacKind kind,
+                                 const CollisionSimParams& params);
+
+}  // namespace fdb::mac

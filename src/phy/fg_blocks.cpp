@@ -1,0 +1,28 @@
+#include "phy/fg_blocks.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace fdb::phy {
+
+FrameSinkBlock::FrameSinkBlock(ModemConfig config)
+    : fg::Block("frame_sink", {{fg::ItemType::kF32, "envelope"}}, {}),
+      receiver_(config,
+                [this](const StreamFrame& frame) { frames_.push_back(frame); }) {}
+
+fg::WorkStatus FrameSinkBlock::work(fg::WorkContext& ctx) {
+  auto& in = ctx.in(0);
+  constexpr std::size_t kChunk = 1024;
+  const std::size_t n = std::min(in.readable(), kChunk);
+  if (n == 0) {
+    return ctx.inputs_finished() ? fg::WorkStatus::kDone
+                                 : fg::WorkStatus::kBlocked;
+  }
+  std::array<float, kChunk> buf{};
+  in.peek_items(std::span<float>(buf.data(), n));
+  receiver_.process(std::span<const float>(buf.data(), n));
+  in.consume(n);
+  return fg::WorkStatus::kProgress;
+}
+
+}  // namespace fdb::phy

@@ -1,0 +1,28 @@
+// Flowgraph adapters for the PHY: run a live receive chain as a graph
+// (envelope detector block -> FrameSinkBlock) the way a GNU Radio user
+// would wire it.
+#pragma once
+
+#include <vector>
+
+#include "flowgraph/block.hpp"
+#include "phy/stream_rx.hpp"
+
+namespace fdb::phy {
+
+/// Terminal block feeding a StreamingReceiver; decoded frames are
+/// collected and can be read after graph.run().
+class FrameSinkBlock : public fg::Block {
+ public:
+  explicit FrameSinkBlock(ModemConfig config);
+
+  fg::WorkStatus work(fg::WorkContext& ctx) override;
+
+  const std::vector<StreamFrame>& frames() const { return frames_; }
+
+ private:
+  std::vector<StreamFrame> frames_;
+  StreamingReceiver receiver_;
+};
+
+}  // namespace fdb::phy

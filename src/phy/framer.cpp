@@ -1,0 +1,121 @@
+#include "phy/framer.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+#include "util/crc.hpp"
+
+namespace fdb::phy {
+
+std::vector<std::uint8_t> frame_to_bits(
+    std::span<const std::uint8_t> payload) {
+  assert(payload.size() <= FrameLimits::kMaxPayloadBytes);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(frame_bits_for_payload(payload.size()));
+
+  const auto len = static_cast<std::uint8_t>(payload.size());
+  append_bits(bits, len, 8);
+  append_bits(bits, crc8({&len, 1}), 8);
+
+  for (const std::uint8_t byte : payload) append_bits(bits, byte, 8);
+  append_bits(bits, crc16(payload), 16);
+  return bits;
+}
+
+std::size_t frame_bits_for_payload(std::size_t payload_bytes) {
+  return 8 + 8 + payload_bytes * 8 + 16;
+}
+
+DeframeResult deframe_bits(std::span<const std::uint8_t> bits) {
+  DeframeResult result;
+  if (bits.size() < 16) {
+    result.status = Status::kTruncated;
+    return result;
+  }
+  const auto len = static_cast<std::uint8_t>(read_bits(bits, 0, 8));
+  const auto hdr_crc = static_cast<std::uint8_t>(read_bits(bits, 8, 8));
+  if (crc8({&len, 1}) != hdr_crc) {
+    result.status = Status::kCrcMismatch;
+    result.header_ok = false;
+    result.bits_consumed = 16;
+    return result;
+  }
+  result.header_ok = true;
+  const std::size_t need = frame_bits_for_payload(len);
+  if (bits.size() < need) {
+    result.status = Status::kTruncated;
+    return result;
+  }
+  std::vector<std::uint8_t> payload(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    payload[i] = static_cast<std::uint8_t>(read_bits(bits, 16 + i * 8, 8));
+  }
+  const auto body_crc =
+      static_cast<std::uint16_t>(read_bits(bits, 16 + len * 8ul, 16));
+  result.bits_consumed = need;
+  if (crc16(payload) != body_crc) {
+    result.status = Status::kCrcMismatch;
+    return result;
+  }
+  result.status = Status::kOk;
+  result.payload = std::move(payload);
+  return result;
+}
+
+std::vector<std::uint8_t> blocks_to_bits(std::span<const std::uint8_t> payload,
+                                         std::size_t block_size) {
+  assert(block_size > 0);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(block_bits_for_payload(payload.size(), block_size));
+  for (std::size_t start = 0; start < payload.size(); start += block_size) {
+    const std::size_t n = std::min(block_size, payload.size() - start);
+    const auto block = payload.subspan(start, n);
+    for (const std::uint8_t byte : block) append_bits(bits, byte, 8);
+    append_bits(bits, crc8(block), 8);
+  }
+  return bits;
+}
+
+BlockDecodeResult decode_blocks(std::span<const std::uint8_t> bits,
+                                std::size_t payload_bytes,
+                                std::size_t block_size) {
+  assert(block_size > 0);
+  BlockDecodeResult result;
+  std::size_t offset = 0;
+  for (std::size_t start = 0; start < payload_bytes; start += block_size) {
+    const std::size_t n = std::min(block_size, payload_bytes - start);
+    const std::size_t need = n * 8 + 8;
+    if (offset + need > bits.size()) {
+      // Truncated tail: mark remaining blocks failed.
+      result.block_ok.push_back(false);
+      ++result.blocks_failed;
+      result.payload.insert(result.payload.end(), n, 0);
+      continue;
+    }
+    std::vector<std::uint8_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] =
+          static_cast<std::uint8_t>(read_bits(bits, offset + i * 8, 8));
+    }
+    const auto rx_crc =
+        static_cast<std::uint8_t>(read_bits(bits, offset + n * 8, 8));
+    const bool ok = crc8(data) == rx_crc;
+    result.block_ok.push_back(ok);
+    if (!ok) ++result.blocks_failed;
+    result.payload.insert(result.payload.end(), data.begin(), data.end());
+    offset += need;
+  }
+  return result;
+}
+
+std::size_t block_bits_for_payload(std::size_t payload_bytes,
+                                   std::size_t block_size) {
+  assert(block_size > 0);
+  const std::size_t full_blocks = payload_bytes / block_size;
+  const std::size_t tail = payload_bytes % block_size;
+  std::size_t bits = full_blocks * (block_size * 8 + 8);
+  if (tail) bits += tail * 8 + 8;
+  return bits;
+}
+
+}  // namespace fdb::phy

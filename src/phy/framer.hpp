@@ -1,0 +1,66 @@
+// Frame format (bit level, MSB first):
+//
+//   [preamble chips]                      — handled at chip level
+//   [length : 8]  [hdr_crc8 : 8]          — header, CRC8 over length
+//   [payload : length*8]  [crc16 : 16]    — body, CRC16 over payload
+//
+// The header CRC lets the deframer reject a corrupted length before it
+// commits to reading a bogus number of payload bits — without it a
+// single header bit error desynchronises the whole burst.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdb::phy {
+
+struct FrameLimits {
+  static constexpr std::size_t kMaxPayloadBytes = 255;
+};
+
+/// Serialises payload to header+body bits (no preamble).
+std::vector<std::uint8_t> frame_to_bits(std::span<const std::uint8_t> payload);
+
+/// Number of frame bits for a payload of n bytes.
+std::size_t frame_bits_for_payload(std::size_t payload_bytes);
+
+struct DeframeResult {
+  Status status = Status::kTruncated;
+  std::vector<std::uint8_t> payload;
+  /// Bits consumed from the input (valid when status != kTruncated).
+  std::size_t bits_consumed = 0;
+  /// True when the header parsed but the body CRC failed — the caller
+  /// knows the frame length and can request a retransmission.
+  bool header_ok = false;
+};
+
+/// Parses one frame from the front of `bits`.
+DeframeResult deframe_bits(std::span<const std::uint8_t> bits);
+
+/// Splits a payload into `block_size`-byte blocks, each with its own
+/// CRC8 trailer — the unit of the full-duplex instant-NACK protocol.
+/// Layout per block: [data : block_size*8][crc8 : 8]; the last block may
+/// be shorter.
+std::vector<std::uint8_t> blocks_to_bits(std::span<const std::uint8_t> payload,
+                                         std::size_t block_size);
+
+struct BlockDecodeResult {
+  std::vector<std::uint8_t> payload;       // concatenated block data
+  std::vector<bool> block_ok;              // per-block CRC verdicts
+  std::size_t blocks_failed = 0;
+};
+
+/// Decodes a blocks_to_bits() stream given the original payload size.
+BlockDecodeResult decode_blocks(std::span<const std::uint8_t> bits,
+                                std::size_t payload_bytes,
+                                std::size_t block_size);
+
+/// Bits on the wire for a blocked payload.
+std::size_t block_bits_for_payload(std::size_t payload_bytes,
+                                   std::size_t block_size);
+
+}  // namespace fdb::phy

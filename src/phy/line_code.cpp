@@ -1,0 +1,163 @@
+#include "phy/line_code.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::phy {
+
+const char* to_string(LineCode code) {
+  switch (code) {
+    case LineCode::kFm0: return "fm0";
+    case LineCode::kManchester: return "manchester";
+    case LineCode::kMiller2: return "miller2";
+    case LineCode::kNrz: return "nrz";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_fm0(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> chips;
+  chips.reserve(bits.size() * 2);
+  std::uint8_t level = 1;
+  for (const std::uint8_t bit : bits) {
+    // Invert at every bit boundary.
+    level ^= 1u;
+    chips.push_back(level);
+    // '0' inverts again mid-bit; '1' holds.
+    if (!bit) level ^= 1u;
+    chips.push_back(level);
+  }
+  return chips;
+}
+
+std::vector<std::uint8_t> encode_manchester(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> chips;
+  chips.reserve(bits.size() * 2);
+  for (const std::uint8_t bit : bits) {
+    chips.push_back(bit ? 1 : 0);
+    chips.push_back(bit ? 0 : 1);
+  }
+  return chips;
+}
+
+std::vector<std::uint8_t> encode_miller2(std::span<const std::uint8_t> bits) {
+  // Miller: '1' transitions mid-bit; '0' holds unless it follows a '0',
+  // in which case it transitions at the boundary.
+  std::vector<std::uint8_t> chips;
+  chips.reserve(bits.size() * 2);
+  std::uint8_t level = 1;
+  std::uint8_t prev_bit = 1;
+  bool first = true;
+  for (const std::uint8_t bit : bits) {
+    if (!first && bit == 0 && prev_bit == 0) level ^= 1u;
+    chips.push_back(level);
+    if (bit) level ^= 1u;
+    chips.push_back(level);
+    prev_bit = bit;
+    first = false;
+  }
+  return chips;
+}
+
+std::vector<std::uint8_t> encode_nrz(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> chips;
+  chips.reserve(bits.size() * 2);
+  for (const std::uint8_t bit : bits) {
+    chips.push_back(bit ? 1 : 0);
+    chips.push_back(bit ? 1 : 0);
+  }
+  return chips;
+}
+
+std::optional<std::vector<std::uint8_t>> decode_fm0(
+    std::span<const std::uint8_t> chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    // Within a bit: equal chips = '1', inverted = '0'.
+    bits.push_back(chips[i] == chips[i + 1] ? 1 : 0);
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> decode_manchester(
+    std::span<const std::uint8_t> chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    if (chips[i] == chips[i + 1]) return std::nullopt;  // invalid symbol
+    bits.push_back(chips[i] ? 1 : 0);
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> decode_miller2(
+    std::span<const std::uint8_t> chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    bits.push_back(chips[i] != chips[i + 1] ? 1 : 0);
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> decode_nrz(
+    std::span<const std::uint8_t> chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    // Majority of the two chips (ties -> first chip).
+    bits.push_back(chips[i]);
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(LineCode code,
+                                 std::span<const std::uint8_t> bits) {
+  switch (code) {
+    case LineCode::kFm0: return encode_fm0(bits);
+    case LineCode::kManchester: return encode_manchester(bits);
+    case LineCode::kMiller2: return encode_miller2(bits);
+    case LineCode::kNrz: return encode_nrz(bits);
+  }
+  return {};
+}
+
+std::optional<std::vector<std::uint8_t>> decode(
+    LineCode code, std::span<const std::uint8_t> chips) {
+  switch (code) {
+    case LineCode::kFm0: return decode_fm0(chips);
+    case LineCode::kManchester: return decode_manchester(chips);
+    case LineCode::kMiller2: return decode_miller2(chips);
+    case LineCode::kNrz: return decode_nrz(chips);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> decode_fm0_soft(std::span<const float> chip_prob) {
+  // For each bit, the pair (c0, c1) under FM0 satisfies c0 = !prev_level
+  // and c1 = c0 (bit 1) or !c0 (bit 0). We don't track the level here —
+  // equality of the two chips decides the bit; soft values let us pick
+  // the more reliable interpretation when the chips disagree weakly.
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chip_prob.size() / 2);
+  for (std::size_t i = 0; i + 1 < chip_prob.size(); i += 2) {
+    const float p0 = chip_prob[i];
+    const float p1 = chip_prob[i + 1];
+    // P(equal) = p0*p1 + (1-p0)(1-p1); P(diff) = p0(1-p1) + (1-p0)p1.
+    const float equal = p0 * p1 + (1.0f - p0) * (1.0f - p1);
+    bits.push_back(equal >= 0.5f ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace fdb::phy

@@ -1,0 +1,42 @@
+// Line codes used on the backscatter uplink. FM0 (bi-phase space) is
+// the EPC Gen2 / ambient-backscatter standard: it is DC-balanced at the
+// bit scale, which keeps the long-window average the feedback decoder
+// relies on independent of the data pattern — load-bearing for
+// full-duplex separation.
+//
+// Chip convention: chips are 0/1 antenna states, two chips per bit.
+//  * FM0: the level always inverts at a bit boundary; a '0' bit also
+//    inverts mid-bit, a '1' holds level across the bit.
+//  * Manchester: '1' = 10, '0' = 01 (fixed mapping, no memory).
+//  * Miller-2 included for completeness/ablation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fdb::phy {
+
+enum class LineCode : std::uint8_t { kFm0, kManchester, kMiller2, kNrz };
+
+const char* to_string(LineCode code);
+
+/// Encodes bits to chips. FM0/Miller are stateful across the frame; the
+/// encoder starts from level 1. NRZ emits 2 identical chips per bit so
+/// all codes share the 2-chips-per-bit clock.
+std::vector<std::uint8_t> encode(LineCode code,
+                                 std::span<const std::uint8_t> bits);
+
+/// Decodes chips (2 per bit) back to bits. Returns nullopt if the chip
+/// stream is malformed (odd length, or FM0 boundary-invariant violated
+/// beyond tolerance — a sign of desynchronisation).
+std::optional<std::vector<std::uint8_t>> decode(
+    LineCode code, std::span<const std::uint8_t> chips);
+
+/// Soft FM0 decoder: per-chip reliabilities in [0,1] (probability the
+/// chip is 1) -> hard bits by maximum-likelihood over the two chip
+/// hypotheses given the previous level. More robust near threshold.
+std::vector<std::uint8_t> decode_fm0_soft(std::span<const float> chip_llr);
+
+}  // namespace fdb::phy

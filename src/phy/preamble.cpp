@@ -1,0 +1,36 @@
+#include "phy/preamble.hpp"
+
+namespace fdb::phy {
+
+std::vector<std::uint8_t> barker13_chips() {
+  // +1 +1 +1 +1 +1 -1 -1 +1 +1 -1 +1 -1 +1
+  return {1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1};
+}
+
+std::vector<std::uint8_t> barker11_chips() {
+  // +1 +1 +1 -1 -1 -1 +1 -1 -1 +1 -1
+  return {1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 0};
+}
+
+std::vector<float> chips_to_pattern(std::span<const std::uint8_t> chips) {
+  std::vector<float> pattern;
+  pattern.reserve(chips.size());
+  for (const std::uint8_t c : chips) pattern.push_back(c ? 1.0f : -1.0f);
+  return pattern;
+}
+
+std::vector<std::uint8_t> default_preamble_chips() {
+  // 8 alternating chips settle the receiver's averaging windows, then
+  // Barker-13 twice: the doubled sync word halves the correlation noise
+  // and squares the odds of a payload imposter, extending the SNR range
+  // over which acquisition (not bit decisions) limits the link.
+  std::vector<std::uint8_t> chips = {1, 0, 1, 0, 1, 0, 1, 0};
+  const auto barker = barker13_chips();
+  chips.insert(chips.end(), barker.begin(), barker.end());
+  chips.insert(chips.end(), barker.begin(), barker.end());
+  return chips;
+}
+
+std::size_t default_preamble_length() { return 8 + 13 + 13; }
+
+}  // namespace fdb::phy

@@ -1,0 +1,30 @@
+// Frame preambles. Barker codes have ideal aperiodic autocorrelation,
+// so a sliding correlator on the envelope locks onto frame start even
+// when the ambient carrier fluctuates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fdb::phy {
+
+/// 13-chip Barker code as 0/1 antenna states.
+std::vector<std::uint8_t> barker13_chips();
+
+/// 11-chip Barker code as 0/1 antenna states.
+std::vector<std::uint8_t> barker11_chips();
+
+/// Converts 0/1 chips to the ±1 float pattern the SlidingCorrelator
+/// expects (1 -> +1, 0 -> -1).
+std::vector<float> chips_to_pattern(std::span<const std::uint8_t> chips);
+
+/// Default frame preamble: alternating warm-up (AGC settle) followed by
+/// Barker-13 sync word, as chips.
+std::vector<std::uint8_t> default_preamble_chips();
+
+/// Length of default_preamble_chips() (compile-time constant-ish helper
+/// so the deframer can skip it).
+std::size_t default_preamble_length();
+
+}  // namespace fdb::phy

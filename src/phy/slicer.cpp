@@ -1,0 +1,83 @@
+#include "phy/slicer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fdb::phy {
+
+IntegrateAndDump::IntegrateAndDump(std::size_t samples_per_chip)
+    : spc_(samples_per_chip) {
+  assert(samples_per_chip > 0);
+}
+
+void IntegrateAndDump::process(std::span<const float> samples,
+                               std::vector<float>& chips) {
+  for (const float s : samples) {
+    acc_ += s;
+    if (++count_ == spc_) {
+      chips.push_back(static_cast<float>(acc_ / static_cast<double>(spc_)));
+      acc_ = 0.0;
+      count_ = 0;
+    }
+  }
+}
+
+void IntegrateAndDump::reset() {
+  acc_ = 0.0;
+  count_ = 0;
+}
+
+AdaptiveSlicer::AdaptiveSlicer(SlicerConfig config)
+    : config_(config), history_(config.window_chips, 0.0f) {
+  assert(config.window_chips >= 2);
+}
+
+std::uint8_t AdaptiveSlicer::decide(float chip_avg) {
+  history_[pos_] = chip_avg;
+  pos_ = (pos_ + 1) % history_.size();
+  if (filled_ < history_.size()) ++filled_;
+
+  // Threshold = midpoint of observed extremes over the window. With an
+  // OOK chip stream both levels appear frequently (FM0 is DC balanced),
+  // so min/max track the two envelope levels.
+  float lo = history_[0];
+  float hi = history_[0];
+  for (std::size_t i = 0; i < filled_; ++i) {
+    lo = std::min(lo, history_[i]);
+    hi = std::max(hi, history_[i]);
+  }
+  threshold_ = 0.5f * (lo + hi);
+  const float swing = std::max(hi - lo, 1e-12f);
+
+  float effective_threshold = threshold_;
+  if (config_.hysteresis > 0.0f) {
+    // Pull the threshold away from the current state to resist noise.
+    const float offset = config_.hysteresis * swing;
+    effective_threshold += last_decision_ ? -offset : offset;
+  }
+
+  soft_ = std::clamp(0.5f + (chip_avg - effective_threshold) / swing, 0.0f,
+                     1.0f);
+  last_decision_ = chip_avg >= effective_threshold ? 1 : 0;
+  return last_decision_;
+}
+
+void AdaptiveSlicer::process(std::span<const float> chip_avgs,
+                             std::vector<std::uint8_t>& decisions,
+                             std::vector<float>* soft) {
+  for (const float avg : chip_avgs) {
+    decisions.push_back(decide(avg));
+    if (soft != nullptr) soft->push_back(soft_);
+  }
+}
+
+void AdaptiveSlicer::reset() {
+  std::fill(history_.begin(), history_.end(), 0.0f);
+  pos_ = 0;
+  filled_ = 0;
+  threshold_ = 0.0f;
+  soft_ = 0.5f;
+  last_decision_ = 0;
+}
+
+}  // namespace fdb::phy

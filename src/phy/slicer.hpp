@@ -1,0 +1,69 @@
+// Chip recovery from envelope samples.
+//
+// IntegrateAndDump averages the envelope across each chip interval —
+// the maximum-likelihood statistic for OOK in white noise, and exactly
+// what an RC integrator + comparator implements in tag hardware.
+//
+// AdaptiveSlicer converts chip averages to 0/1 decisions against a
+// threshold placed midway between recent high and low levels, tracking
+// the slow drift of the ambient carrier's local mean.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fdb::phy {
+
+/// Averages consecutive runs of `samples_per_chip` envelope samples into
+/// one value per chip.
+class IntegrateAndDump {
+ public:
+  explicit IntegrateAndDump(std::size_t samples_per_chip);
+
+  /// Feeds samples; appends completed chip averages to `chips`.
+  void process(std::span<const float> samples, std::vector<float>& chips);
+
+  /// Drops any partial accumulation (used at frame boundaries).
+  void reset();
+
+  std::size_t samples_per_chip() const { return spc_; }
+
+ private:
+  std::size_t spc_;
+  double acc_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+struct SlicerConfig {
+  std::size_t window_chips = 32;   // history for threshold estimation
+  float hysteresis = 0.0f;         // fraction of swing; 0 disables
+};
+
+class AdaptiveSlicer {
+ public:
+  explicit AdaptiveSlicer(SlicerConfig config = {});
+
+  /// Decides one chip; also exposes the soft value (distance from the
+  /// threshold normalised by swing, clamped to [0,1]).
+  std::uint8_t decide(float chip_avg);
+  float last_soft() const { return soft_; }
+  float threshold() const { return threshold_; }
+
+  void process(std::span<const float> chip_avgs,
+               std::vector<std::uint8_t>& decisions,
+               std::vector<float>* soft = nullptr);
+
+  void reset();
+
+ private:
+  SlicerConfig config_;
+  std::vector<float> history_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  float threshold_ = 0.0f;
+  float soft_ = 0.5f;
+  std::uint8_t last_decision_ = 0;
+};
+
+}  // namespace fdb::phy

@@ -1,0 +1,142 @@
+#include "phy/stream_rx.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+#include "util/crc.hpp"
+#include "util/log.hpp"
+
+namespace fdb::phy {
+namespace {
+
+// Header = length(8) + crc8(8) bits -> chips -> samples, plus margin
+// for the slicer's chip alignment.
+std::size_t header_samples(const ModemConfig& config) {
+  return (2 * 16 + 4) * config.rates.samples_per_chip;
+}
+
+}  // namespace
+
+StreamingReceiver::StreamingReceiver(ModemConfig config, FrameHandler handler)
+    : config_(config),
+      handler_(std::move(handler)),
+      correlator_(chips_to_pattern(default_preamble_chips()),
+                  config.rates.samples_per_chip),
+      peaks_(config.sync_threshold, config.rates.samples_per_chip * 4) {
+  assert(config_.rates.valid());
+  const std::size_t preamble =
+      default_preamble_length() * config_.rates.samples_per_chip;
+  // While searching we only ever need the preamble plus slack.
+  history_cap_ = preamble + 8 * config_.rates.samples_per_chip;
+}
+
+void StreamingReceiver::process(std::span<const float> samples) {
+  for (const float s : samples) feed(s);
+}
+
+void StreamingReceiver::abandon_sync() {
+  state_ = State::kSearching;
+  history_.clear();
+  history_start_ = position_;
+  correlator_.reset();
+  peaks_.reset();
+  detector_base_ = position_;
+}
+
+void StreamingReceiver::feed(float sample) {
+  history_.push_back(sample);
+  const std::uint64_t abs_index = position_++;
+
+  if (state_ == State::kSearching) {
+    while (history_.size() > history_cap_) {
+      history_.pop_front();
+      ++history_start_;
+    }
+    const float corr = correlator_.process(sample);
+    // Magnitude: polarity-inverted frames still acquire (FM0 decodes
+    // either way).
+    const auto peak = peaks_.process(std::abs(corr));
+    if (!peak.has_value()) return;
+
+    // PeakDetector indexes from its last reset; map to stream position.
+    const std::uint64_t peak_abs = detector_base_ + *peak;
+    const std::size_t preamble =
+        default_preamble_length() * config_.rates.samples_per_chip;
+    if (peak_abs + 1 < preamble + history_start_) {
+      return;  // not enough context retained; keep searching
+    }
+    // Trim history so it starts at the preamble.
+    const std::uint64_t preamble_start = peak_abs + 1 - preamble;
+    while (history_start_ < preamble_start && !history_.empty()) {
+      history_.pop_front();
+      ++history_start_;
+    }
+    sync_sample_ = peak_abs;
+    sync_corr_ = corr;
+    body_target_ = header_samples(config_);
+    state_ = State::kCollecting;
+    return;
+  }
+
+  // Collecting: accumulate until the current target is reached.
+  if (abs_index >= sync_sample_ + body_target_) {
+    try_decode();
+  }
+}
+
+void StreamingReceiver::try_decode() {
+  // Materialise the capture [preamble_start, now) and lean on the burst
+  // modem: the capture holds exactly one frame candidate.
+  std::vector<float> capture(history_.begin(), history_.end());
+  BackscatterRx rx(config_);
+
+  // First pass: do we know the frame length yet?
+  const auto header_bits = rx.demodulate_bits(capture, 16);
+  if (!header_bits.has_value() || header_bits->size() < 16) {
+    // False preamble hit; resume the hunt.
+    log_debug("stream_rx: header undecodable, dropping sync");
+    abandon_sync();
+    return;
+  }
+  const auto len = static_cast<std::uint8_t>(read_bits(*header_bits, 0, 8));
+  const auto hdr_crc =
+      static_cast<std::uint8_t>(read_bits(*header_bits, 8, 8));
+  if (crc8({&len, 1}) != hdr_crc) {
+    log_debug("stream_rx: header CRC failed, dropping sync");
+    abandon_sync();
+    return;
+  }
+
+  const std::size_t body = (2 * frame_bits_for_payload(len) + 4) *
+                           config_.rates.samples_per_chip;
+  if (body > body_target_) {
+    // Header parsed: now we know how much more to collect.
+    body_target_ = body;
+    return;
+  }
+
+  // Full frame present: decode and report.
+  StreamFrame frame;
+  const auto result = rx.demodulate_frame(capture);
+  frame.status = result.status;
+  frame.payload = result.payload;
+  frame.start_sample = sync_sample_ + 1;
+  frame.sync_corr = sync_corr_;
+  ++frames_;
+  handler_(frame);
+
+  abandon_sync();
+}
+
+void StreamingReceiver::reset() {
+  abandon_sync();
+  position_ = 0;
+  history_start_ = 0;
+  detector_base_ = 0;
+  frames_ = 0;
+  sync_sample_ = 0;
+  sync_corr_ = 0.0f;
+  body_target_ = 0;
+}
+
+}  // namespace fdb::phy

@@ -1,0 +1,70 @@
+// Streaming receiver: continuous decoding of an unbounded envelope
+// stream, frame after frame. Where BackscatterRx assumes one burst per
+// capture, StreamingReceiver runs a search->decode state machine with
+// bounded memory, suitable for live operation behind an envelope
+// detector (or as a flowgraph sink — see fg::FrameSinkBlock).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dsp/correlator.hpp"
+#include "phy/modem.hpp"
+
+namespace fdb::phy {
+
+struct StreamFrame {
+  Status status = Status::kCrcMismatch;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t start_sample = 0;  // absolute index of first data sample
+  float sync_corr = 0.0f;
+};
+
+class StreamingReceiver {
+ public:
+  using FrameHandler = std::function<void(const StreamFrame&)>;
+
+  /// `handler` fires once per decoded (or CRC-failed) frame.
+  StreamingReceiver(ModemConfig config, FrameHandler handler);
+
+  /// Feeds envelope samples; may invoke the handler zero or more times.
+  void process(std::span<const float> samples);
+
+  /// Samples consumed so far (absolute stream position).
+  std::uint64_t samples_processed() const { return position_; }
+
+  /// Frames attempted (handler invocations).
+  std::uint64_t frames_seen() const { return frames_; }
+
+  void reset();
+
+ private:
+  enum class State { kSearching, kCollecting };
+
+  void feed(float sample);
+  void try_decode();
+  void abandon_sync();
+
+  ModemConfig config_;
+  FrameHandler handler_;
+  dsp::SlidingCorrelator correlator_;
+  dsp::PeakDetector peaks_;
+  State state_ = State::kSearching;
+  std::uint64_t position_ = 0;
+  std::uint64_t frames_ = 0;
+
+  // Rolling history long enough to re-slice from the preamble once a
+  // peak confirms, plus the frame body as it streams in.
+  std::deque<float> history_;
+  std::size_t history_cap_;
+  std::uint64_t history_start_ = 0;  // absolute index of history_[0]
+  std::uint64_t detector_base_ = 0;  // abs position at last peak reset
+  std::uint64_t sync_sample_ = 0;    // absolute peak position
+  float sync_corr_ = 0.0f;
+  std::size_t body_target_ = 0;      // samples needed past the peak
+};
+
+}  // namespace fdb::phy

@@ -1,0 +1,29 @@
+#include "sim/sweep.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fdb::sim {
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  assert(lo > 0.0 && hi > lo && n >= 2);
+  std::vector<double> values(n);
+  const double step = (std::log10(hi) - std::log10(lo)) /
+                      static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = std::pow(10.0, std::log10(lo) + step * static_cast<double>(i));
+  }
+  return values;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  assert(n >= 2);
+  std::vector<double> values(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = lo + step * static_cast<double>(i);
+  }
+  return values;
+}
+
+}  // namespace fdb::sim

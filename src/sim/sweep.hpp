@@ -1,0 +1,30 @@
+// Parameter-sweep scaffolding shared by the bench binaries.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace fdb::sim {
+
+/// Runs `row_fn` for every value in `values`, collecting table rows.
+/// Keeps the bench mains declarative: sweep(xs, fn).print().
+template <typename T>
+Table sweep(std::vector<std::string> headers, const std::vector<T>& values,
+            const std::function<std::vector<double>(const T&)>& row_fn) {
+  Table table(std::move(headers));
+  for (const T& v : values) {
+    table.add_row_numeric(row_fn(v));
+  }
+  return table;
+}
+
+/// Logarithmically spaced values in [lo, hi], n points.
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Linearly spaced values in [lo, hi], n points.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace fdb::sim

@@ -1,0 +1,72 @@
+#include "util/bits.hpp"
+
+#include <cassert>
+
+namespace fdb {
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (const std::uint8_t byte : bytes) {
+    for (int bit = 7; bit >= 0; --bit) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> bit) & 1u));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+    }
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  assert(a.size() == b.size());
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    distance += (a[i] != 0) != (b[i] != 0) ? 1 : 0;
+  }
+  return distance;
+}
+
+void append_bits(std::vector<std::uint8_t>& out, std::uint32_t value,
+                 int nbits) {
+  assert(nbits >= 0 && nbits <= 32);
+  for (int bit = nbits - 1; bit >= 0; --bit) {
+    out.push_back(static_cast<std::uint8_t>((value >> bit) & 1u));
+  }
+}
+
+std::uint32_t read_bits(std::span<const std::uint8_t> bits, std::size_t offset,
+                        int nbits) {
+  assert(nbits >= 0 && nbits <= 32);
+  assert(offset + static_cast<std::size_t>(nbits) <= bits.size());
+  std::uint32_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    value = (value << 1) | (bits[offset + static_cast<std::size_t>(i)] & 1u);
+  }
+  return value;
+}
+
+Lfsr16::Lfsr16(std::uint16_t seed) : state_(seed ? seed : 0xACE1u) {}
+
+std::uint8_t Lfsr16::next_bit() {
+  const std::uint16_t bit = static_cast<std::uint16_t>(
+      ((state_ >> 0) ^ (state_ >> 2) ^ (state_ >> 3) ^ (state_ >> 5)) & 1u);
+  state_ = static_cast<std::uint16_t>((state_ >> 1) | (bit << 15));
+  return static_cast<std::uint8_t>(bit);
+}
+
+std::vector<std::uint8_t> Lfsr16::next_bits(std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = next_bit();
+  return bits;
+}
+
+}  // namespace fdb

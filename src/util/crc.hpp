@@ -1,0 +1,21 @@
+// CRC checks used by the PHY framer. CRC-16/CCITT-FALSE matches what
+// EPC Gen2 / low-power backscatter frames typically carry; CRC-8 guards
+// the short frame header so a corrupted length field cannot desynchronise
+// the deframer; CRC-32 is available for bulk payload integrity tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fdb {
+
+/// CRC-8/ATM (poly 0x07, init 0x00).
+std::uint8_t crc8(std::span<const std::uint8_t> data);
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace fdb

@@ -1,0 +1,34 @@
+// Decibel / linear power conversions used throughout the channel and
+// energy models. All power quantities in the library are linear watts
+// unless the identifier says dB or dBm.
+#pragma once
+
+#include <cmath>
+
+namespace fdb {
+
+/// Power ratio -> decibels.
+inline double lin_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Decibels -> power ratio.
+inline double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Watts -> dBm.
+inline double watt_to_dbm(double watts) {
+  return 10.0 * std::log10(watts) + 30.0;
+}
+
+/// dBm -> watts.
+inline double dbm_to_watt(double dbm) {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+/// Field (amplitude) ratio -> decibels.
+inline double amp_to_db(double amplitude) {
+  return 20.0 * std::log10(amplitude);
+}
+
+/// Decibels -> field (amplitude) ratio.
+inline double db_to_amp(double db) { return std::pow(10.0, db / 20.0); }
+
+}  // namespace fdb

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace fdb {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff: return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "%s%s\n", prefix(level), msg.c_str());
+}
+
+void log_debug(const std::string& msg) { log_message(LogLevel::kDebug, msg); }
+void log_info(const std::string& msg) { log_message(LogLevel::kInfo, msg); }
+void log_warn(const std::string& msg) { log_message(LogLevel::kWarn, msg); }
+void log_error(const std::string& msg) { log_message(LogLevel::kError, msg); }
+
+}  // namespace fdb

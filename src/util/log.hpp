@@ -1,0 +1,25 @@
+// Minimal leveled logger. Simulation workers log through this so verbosity
+// can be raised for debugging without recompiling benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fdb {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr with a level prefix if `level` passes the
+/// threshold. Thread-safe at the line level.
+void log_message(LogLevel level, const std::string& msg);
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace fdb

@@ -1,0 +1,87 @@
+// Streaming statistics used by the Monte-Carlo harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fdb {
+
+/// Welford's online mean/variance with min/max tracking. Numerically
+/// stable for long Monte-Carlo runs.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counter for bit- or block-error-rate estimation with a Wilson score
+/// interval (robust for small error counts, which BER sweeps hit often).
+class ErrorRateCounter {
+ public:
+  void add(bool error) {
+    ++trials_;
+    if (error) ++errors_;
+  }
+  void add(std::uint64_t errors, std::uint64_t trials) {
+    errors_ += errors;
+    trials_ += trials;
+  }
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t trials() const { return trials_; }
+  double rate() const {
+    return trials_ ? static_cast<double>(errors_) / static_cast<double>(trials_)
+                   : 0.0;
+  }
+  /// Wilson 95% interval bounds for the underlying error probability.
+  double wilson_lower() const;
+  double wilson_upper() const;
+
+ private:
+  std::uint64_t errors_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Empirical quantile q in [0,1], linear within the containing bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fdb

@@ -1,0 +1,46 @@
+// Basic shared types for the fdb library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace fdb {
+
+/// Complex baseband sample. Single precision: matches what an SDR front end
+/// or fixed-point backscatter decoder would process, and halves memory
+/// bandwidth relative to double in the sample-level simulator.
+using cf32 = std::complex<float>;
+
+/// Real sample (e.g. envelope-detector output).
+using f32 = float;
+
+/// Seconds, used for all simulator time arithmetic.
+using Seconds = double;
+
+/// Generic status for fallible operations on hot paths where exceptions
+/// are not appropriate.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCrcMismatch,
+  kSyncNotFound,
+  kTruncated,
+  kEnergyDepleted,
+};
+
+/// Human-readable name of a Status value.
+constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kInvalidArgument: return "invalid_argument";
+    case Status::kOutOfRange: return "out_of_range";
+    case Status::kCrcMismatch: return "crc_mismatch";
+    case Status::kSyncNotFound: return "sync_not_found";
+    case Status::kTruncated: return "truncated";
+    case Status::kEnergyDepleted: return "energy_depleted";
+  }
+  return "unknown";
+}
+
+}  // namespace fdb

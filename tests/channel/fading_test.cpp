@@ -1,0 +1,85 @@
+#include "channel/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::channel {
+namespace {
+
+TEST(StaticFading, AlwaysUnity) {
+  StaticFading fading;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    fading.next_block(rng);
+    EXPECT_FLOAT_EQ(fading.gain().real(), 1.0f);
+    EXPECT_FLOAT_EQ(fading.gain().imag(), 0.0f);
+  }
+}
+
+TEST(RayleighFading, UnitMeanSquare) {
+  Rng rng(2);
+  RayleighFading fading(rng);
+  double ms = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    fading.next_block(rng);
+    ms += std::norm(fading.gain());
+  }
+  EXPECT_NEAR(ms / n, 1.0, 0.03);
+}
+
+TEST(RayleighFading, BlocksAreIndependentDraws) {
+  Rng rng(3);
+  RayleighFading fading(rng);
+  const cf32 g1 = fading.gain();
+  fading.next_block(rng);
+  const cf32 g2 = fading.gain();
+  EXPECT_NE(g1, g2);
+}
+
+TEST(RicianFading, UnitMeanSquare) {
+  Rng rng(4);
+  RicianFading fading(6.0, rng);
+  double ms = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    fading.next_block(rng);
+    ms += std::norm(fading.gain());
+  }
+  EXPECT_NEAR(ms / n, 1.0, 0.03);
+}
+
+TEST(RicianFading, HighKApproachesLos) {
+  Rng rng(5);
+  RicianFading fading(1000.0, rng);
+  // With K=1000 almost all power is LOS: gain near 1+0j every block.
+  for (int i = 0; i < 20; ++i) {
+    fading.next_block(rng);
+    EXPECT_NEAR(std::abs(fading.gain()), 1.0, 0.15);
+  }
+}
+
+TEST(RicianFading, LowKVariesLikeRayleigh) {
+  Rng rng(6);
+  RicianFading fading(0.01, rng);
+  double min_mag = 1e9, max_mag = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    fading.next_block(rng);
+    const double m = std::abs(fading.gain());
+    min_mag = std::min(min_mag, m);
+    max_mag = std::max(max_mag, m);
+  }
+  EXPECT_GT(max_mag / std::max(min_mag, 1e-12), 10.0);
+}
+
+TEST(MakeFading, FactorySelectsKinds) {
+  Rng rng(7);
+  EXPECT_STREQ(make_fading("static", rng)->name(), "static");
+  EXPECT_STREQ(make_fading("rayleigh", rng)->name(), "rayleigh");
+  EXPECT_STREQ(make_fading("rician", rng)->name(), "rician");
+  EXPECT_STREQ(make_fading("unknown", rng)->name(), "static");
+}
+
+}  // namespace
+}  // namespace fdb::channel

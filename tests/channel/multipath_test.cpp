@@ -1,0 +1,69 @@
+#include "channel/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::channel {
+namespace {
+
+TEST(Multipath, TapsHaveUnitExpectedPower) {
+  Rng rng(1);
+  const MultipathProfile profile{.num_taps = 6, .delay_spread_samples = 2.0};
+  double total = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const auto taps = draw_multipath_taps(profile, rng);
+    for (const cf32 tap : taps) total += std::norm(tap);
+  }
+  EXPECT_NEAR(total / trials, 1.0, 0.03);
+}
+
+TEST(Multipath, PowerDecaysWithDelay) {
+  Rng rng(2);
+  const MultipathProfile profile{.num_taps = 5, .delay_spread_samples = 1.5};
+  std::vector<double> tap_power(profile.num_taps, 0.0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    const auto taps = draw_multipath_taps(profile, rng);
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      tap_power[k] += std::norm(taps[k]);
+    }
+  }
+  for (std::size_t k = 1; k < tap_power.size(); ++k) {
+    EXPECT_LT(tap_power[k], tap_power[k - 1]);
+  }
+}
+
+TEST(MultipathChannel, SingleTapEquivalentToScaling) {
+  Rng rng(3);
+  MultipathChannel channel({.num_taps = 1, .delay_spread_samples = 1.0}, rng);
+  const cf32 tap = channel.taps()[0];
+  const cf32 y = channel.process({1.0f, 0.0f});
+  EXPECT_NEAR(y.real(), tap.real(), 1e-6f);
+  EXPECT_NEAR(y.imag(), tap.imag(), 1e-6f);
+}
+
+TEST(MultipathChannel, RedrawChangesResponse) {
+  Rng rng(4);
+  MultipathChannel channel({.num_taps = 4, .delay_spread_samples = 2.0}, rng);
+  const auto before = channel.taps();
+  channel.redraw(rng);
+  const auto after = channel.taps();
+  EXPECT_NE(before[0], after[0]);
+}
+
+TEST(MultipathChannel, IntroducesIsi) {
+  Rng rng(5);
+  MultipathChannel channel({.num_taps = 3, .delay_spread_samples = 2.0}, rng);
+  // An impulse spreads over num_taps outputs.
+  const cf32 y0 = channel.process({1.0f, 0.0f});
+  const cf32 y1 = channel.process({0.0f, 0.0f});
+  const cf32 y2 = channel.process({0.0f, 0.0f});
+  EXPECT_NEAR(y0.real(), channel.taps()[0].real(), 1e-6f);
+  EXPECT_NEAR(y1.real(), channel.taps()[1].real(), 1e-6f);
+  EXPECT_NEAR(y2.real(), channel.taps()[2].real(), 1e-6f);
+}
+
+}  // namespace
+}  // namespace fdb::channel

@@ -1,0 +1,94 @@
+#include "channel/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/db.hpp"
+
+namespace fdb::channel {
+namespace {
+
+TEST(Friis, InverseWithDistance) {
+  const double wl = wavelength_m(539e6);  // UHF TV band
+  const double g1 = friis_amplitude_gain(1.0, wl);
+  const double g2 = friis_amplitude_gain(2.0, wl);
+  EXPECT_NEAR(g1 / g2, 2.0, 1e-9);
+}
+
+TEST(Wavelength, UhfTvBand) {
+  EXPECT_NEAR(wavelength_m(539e6), 0.556, 0.01);
+}
+
+TEST(LogDistance, ReferenceLossApplied) {
+  LogDistanceModel model{.reference_distance_m = 1.0,
+                         .reference_loss_db = 30.0,
+                         .exponent = 2.0,
+                         .shadowing_sigma_db = 0.0};
+  EXPECT_NEAR(lin_to_db(model.power_gain(1.0)), -30.0, 1e-9);
+}
+
+TEST(LogDistance, ExponentControlsSlope) {
+  LogDistanceModel model{.reference_distance_m = 1.0,
+                         .reference_loss_db = 30.0,
+                         .exponent = 2.5,
+                         .shadowing_sigma_db = 0.0};
+  const double loss_10m = -lin_to_db(model.power_gain(10.0));
+  EXPECT_NEAR(loss_10m, 30.0 + 25.0, 1e-9);  // +10*n dB per decade
+}
+
+TEST(LogDistance, AmplitudeIsSqrtPower) {
+  LogDistanceModel model;
+  const double d = 3.7;
+  EXPECT_NEAR(model.amplitude_gain(d),
+              std::sqrt(model.power_gain(d)), 1e-12);
+}
+
+TEST(LogDistance, BelowReferenceClamps) {
+  LogDistanceModel model{.reference_distance_m = 1.0,
+                         .reference_loss_db = 30.0,
+                         .exponent = 2.0,
+                         .shadowing_sigma_db = 0.0};
+  EXPECT_DOUBLE_EQ(model.power_gain(0.2), model.power_gain(1.0));
+}
+
+TEST(LogDistance, ShadowingPerturbsGain) {
+  LogDistanceModel model{.reference_distance_m = 1.0,
+                         .reference_loss_db = 30.0,
+                         .exponent = 2.0,
+                         .shadowing_sigma_db = 8.0};
+  Rng rng(5);
+  const double base = model.power_gain(10.0);
+  bool saw_different = false;
+  for (int i = 0; i < 16; ++i) {
+    if (std::abs(model.power_gain(10.0, &rng) - base) > base * 0.01) {
+      saw_different = true;
+    }
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(LogDistance, ShadowingMeanIsUnbiasedInDb) {
+  LogDistanceModel model{.reference_distance_m = 1.0,
+                         .reference_loss_db = 30.0,
+                         .exponent = 2.0,
+                         .shadowing_sigma_db = 6.0};
+  Rng rng(6);
+  double sum_db = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_db += lin_to_db(model.power_gain(10.0, &rng));
+  }
+  EXPECT_NEAR(sum_db / n, lin_to_db(model.power_gain(10.0)), 0.2);
+}
+
+TEST(Db, ConversionsRoundTrip) {
+  EXPECT_NEAR(db_to_lin(lin_to_db(0.123)), 0.123, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(watt_to_dbm(0.05)), 0.05, 1e-12);
+  EXPECT_NEAR(db_to_amp(amp_to_db(3.0)), 3.0, 1e-12);
+  EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(0.0), 1e-3, 1e-15);
+}
+
+}  // namespace
+}  // namespace fdb::channel

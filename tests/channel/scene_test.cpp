@@ -1,0 +1,57 @@
+#include "channel/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::channel {
+namespace {
+
+TEST(Scene, DistanceMetric) {
+  EXPECT_DOUBLE_EQ(distance_m({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_m({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Scene, AddAndQueryDevices) {
+  Scene scene;
+  const auto tv = scene.add_device(
+      {"tv", DeviceKind::kAmbientTx, {0.0, 0.0}});
+  const auto tag = scene.add_device({"tag", DeviceKind::kTag, {5.0, 0.0}});
+  EXPECT_EQ(scene.num_devices(), 2u);
+  EXPECT_EQ(scene.device(tv).name, "tv");
+  EXPECT_EQ(scene.device(tag).kind, DeviceKind::kTag);
+}
+
+TEST(Scene, GainFallsWithDistance) {
+  Scene scene;
+  const auto tx = scene.add_device(
+      {"tx", DeviceKind::kAmbientTx, {0.0, 0.0}});
+  const auto near = scene.add_device({"near", DeviceKind::kTag, {2.0, 0.0}});
+  const auto far = scene.add_device({"far", DeviceKind::kTag, {20.0, 0.0}});
+  EXPECT_GT(scene.power_gain(tx, near), scene.power_gain(tx, far));
+}
+
+TEST(Scene, GainSymmetric) {
+  Scene scene;
+  const auto a = scene.add_device({"a", DeviceKind::kTag, {0.0, 0.0}});
+  const auto b = scene.add_device({"b", DeviceKind::kTag, {7.0, 3.0}});
+  EXPECT_DOUBLE_EQ(scene.amplitude_gain(a, b), scene.amplitude_gain(b, a));
+}
+
+TEST(Scene, CoincidentDevicesDoNotDivideByZero) {
+  Scene scene;
+  const auto a = scene.add_device({"a", DeviceKind::kTag, {1.0, 1.0}});
+  const auto b = scene.add_device({"b", DeviceKind::kTag, {1.0, 1.0}});
+  EXPECT_TRUE(std::isfinite(scene.amplitude_gain(a, b)));
+}
+
+TEST(Scene, FindFirstByKind) {
+  Scene scene;
+  scene.add_device({"t1", DeviceKind::kTag, {0, 0}});
+  const auto tx = scene.add_device({"tv", DeviceKind::kAmbientTx, {0, 0}});
+  EXPECT_EQ(scene.find_first(DeviceKind::kAmbientTx), tx);
+  EXPECT_EQ(scene.find_first(DeviceKind::kReceiver), SIZE_MAX);
+}
+
+}  // namespace
+}  // namespace fdb::channel

@@ -1,0 +1,113 @@
+#include "core/self_interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fdb::core {
+namespace {
+
+TEST(Normalizer, RemovesKnownScaleChange) {
+  // Envelope is 1.0 while own state is 0, and 1.4 while own state is 1
+  // (own reflection raises the level). After warm-up the normalised
+  // stream should be flat at ~1.0.
+  SelfInterferenceNormalizer normalizer({.ema_samples = 64,
+                                         .warmup_samples = 32});
+  // Alternate states in runs of 16 samples.
+  float last_state1_output = 0.0f;
+  for (int i = 0; i < 4000; ++i) {
+    const bool state = (i / 16) % 2 == 1;
+    const float env = state ? 1.4f : 1.0f;
+    const float y = normalizer.process(env, state);
+    if (state && i > 3000) last_state1_output = y;
+  }
+  EXPECT_NEAR(last_state1_output, 1.0f, 0.02f);
+  EXPECT_NEAR(normalizer.gain(), 1.0 / 1.4, 0.02);
+}
+
+TEST(Normalizer, PreservesDataModulationOnTop) {
+  // Data signal (small swing d) rides on both own-state levels; after
+  // normalisation the swing must survive in comparable size.
+  SelfInterferenceNormalizer normalizer({.ema_samples = 256,
+                                         .warmup_samples = 64});
+  Rng rng(3);
+  std::vector<float> out0, out1;
+  for (int i = 0; i < 20000; ++i) {
+    const bool own = (i / 64) % 2 == 1;
+    const bool data = (i / 8) % 2 == 1;  // fast data toggling
+    const float base = own ? 1.5f : 1.0f;
+    const float env = base * (data ? 1.1f : 1.0f);
+    const float y = normalizer.process(env, own);
+    if (i > 15000) (data ? out1 : out0).push_back(y);
+  }
+  double m0 = 0.0, m1 = 0.0;
+  for (const float v : out0) m0 += v;
+  for (const float v : out1) m1 += v;
+  m0 /= static_cast<double>(out0.size());
+  m1 /= static_cast<double>(out1.size());
+  // Data swing ~10% preserved after own-state normalisation.
+  EXPECT_NEAR(m1 / m0, 1.1, 0.02);
+}
+
+TEST(Normalizer, UnityGainBeforeWarmup) {
+  SelfInterferenceNormalizer normalizer({.ema_samples = 64,
+                                         .warmup_samples = 1000});
+  for (int i = 0; i < 100; ++i) {
+    normalizer.process(2.0f, i % 2 == 1);
+  }
+  EXPECT_DOUBLE_EQ(normalizer.gain(), 1.0);
+}
+
+TEST(Normalizer, State0PassesThroughUnchanged) {
+  SelfInterferenceNormalizer normalizer;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(normalizer.process(3.14f, false), 3.14f);
+  }
+}
+
+TEST(Normalizer, BlockApiMatchesSampleApi) {
+  SelfInterferenceNormalizer a({.ema_samples = 32, .warmup_samples = 8});
+  SelfInterferenceNormalizer b({.ema_samples = 32, .warmup_samples = 8});
+  Rng rng(5);
+  std::vector<float> env(500);
+  std::vector<std::uint8_t> states(500);
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    env[i] = 1.0f + static_cast<float>(rng.uniform()) * 0.5f;
+    states[i] = rng.chance(0.5) ? 1 : 0;
+  }
+  std::vector<float> block_out(500);
+  a.process(env, states, block_out);
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    EXPECT_FLOAT_EQ(b.process(env[i], states[i] != 0), block_out[i]);
+  }
+}
+
+TEST(Normalizer, ResetClearsEstimates) {
+  SelfInterferenceNormalizer normalizer({.ema_samples = 16,
+                                         .warmup_samples = 4});
+  for (int i = 0; i < 100; ++i) normalizer.process(2.0f, i % 2 == 1);
+  normalizer.reset();
+  EXPECT_DOUBLE_EQ(normalizer.gain(), 1.0);
+  EXPECT_DOUBLE_EQ(normalizer.mean_state0(), 0.0);
+}
+
+TEST(Normalizer, TracksSlowChannelDrift) {
+  // The per-state gain ratio stays correct while the overall level
+  // drifts (fading within coherence limits).
+  SelfInterferenceNormalizer normalizer({.ema_samples = 128,
+                                         .warmup_samples = 32});
+  float final_output = 0.0f;
+  for (int i = 0; i < 30000; ++i) {
+    const bool own = (i / 32) % 2 == 1;
+    const float drift = 1.0f + 0.3f * static_cast<float>(i) / 30000.0f;
+    const float env = drift * (own ? 1.25f : 1.0f);
+    final_output = normalizer.process(env, own);
+  }
+  // At the end, normalised own-state output should track drift*1.0.
+  EXPECT_NEAR(final_output, 1.3f, 0.05f);
+}
+
+}  // namespace
+}  // namespace fdb::core

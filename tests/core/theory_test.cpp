@@ -1,0 +1,115 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::core {
+namespace {
+
+TEST(Qfunc, KnownValues) {
+  EXPECT_NEAR(qfunc(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(qfunc(1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(qfunc(3.0), 0.00134990, 1e-7);
+  EXPECT_NEAR(qfunc(-1.0), 1.0 - qfunc(1.0), 1e-12);
+}
+
+TEST(OokBer, MoreAveragingLowersBer) {
+  const double b1 = ook_envelope_ber(0.1, 0.2, 1);
+  const double b8 = ook_envelope_ber(0.1, 0.2, 8);
+  const double b64 = ook_envelope_ber(0.1, 0.2, 64);
+  EXPECT_GT(b1, b8);
+  EXPECT_GT(b8, b64);
+}
+
+TEST(OokBer, LargerSwingLowersBer) {
+  EXPECT_GT(ook_envelope_ber(0.05, 0.2, 4), ook_envelope_ber(0.2, 0.2, 4));
+}
+
+TEST(OokBer, ZeroSwingIsCoinFlip) {
+  EXPECT_NEAR(ook_envelope_ber(0.0, 0.2, 16), 0.5, 1e-12);
+}
+
+TEST(FeedbackBer, LongerWindowLowersBer) {
+  EXPECT_GT(feedback_ber(0.05, 0.2, 64, true),
+            feedback_ber(0.05, 0.2, 512, true));
+}
+
+TEST(FeedbackBer, FeedbackBeatsDataAtSameSwing) {
+  // The slow stream averages over far more samples than one chip.
+  const double data = ook_envelope_ber(0.05, 0.2, 8);
+  const double fb = feedback_ber(0.05, 0.2, 8 * 2 * 72, true);
+  EXPECT_LT(fb, data);
+}
+
+TEST(BlockErrorRate, MatchesClosedForm) {
+  EXPECT_NEAR(block_error_rate(0.01, 100), 1.0 - std::pow(0.99, 100), 1e-12);
+  EXPECT_DOUBLE_EQ(block_error_rate(0.0, 1000), 0.0);
+  EXPECT_NEAR(block_error_rate(1.0, 3), 1.0, 1e-12);
+}
+
+TEST(ArqModels, AllEqualAtZeroBer) {
+  ArqModelParams params;
+  const double sw = stop_and_wait_goodput(0.0, params);
+  const double sr = selective_repeat_goodput(0.0, params);
+  const double fd = fd_arq_goodput(0.0, 0.0, params);
+  EXPECT_GT(sw, 0.5);
+  EXPECT_GT(sr, sw);               // SR never pays turnaround
+  EXPECT_GT(fd, 0.5);
+  // All below 1 (overheads).
+  EXPECT_LT(sw, 1.0);
+  EXPECT_LT(sr, 1.0);
+  EXPECT_LT(fd, 1.0);
+}
+
+TEST(ArqModels, FdWinsAtModerateBer) {
+  // The paper's headline shape: at BERs where whole frames almost
+  // always contain an error, block-level recovery keeps goodput up.
+  ArqModelParams params;
+  const double ber = 3e-3;  // FER ~ 1 for 2k-bit frames
+  EXPECT_GT(fd_arq_goodput(ber, 0.0, params),
+            5.0 * stop_and_wait_goodput(ber, params));
+  EXPECT_GT(fd_arq_goodput(ber, 0.0, params),
+            5.0 * selective_repeat_goodput(ber, params));
+}
+
+TEST(ArqModels, StopAndWaitDegradesWithBer) {
+  ArqModelParams params;
+  double prev = stop_and_wait_goodput(0.0, params);
+  for (const double ber : {1e-4, 1e-3, 1e-2}) {
+    const double g = stop_and_wait_goodput(ber, params);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(ArqModels, FdDegradesGracefullyWithFeedbackErrors) {
+  ArqModelParams params;
+  const double clean = fd_arq_goodput(1e-3, 0.0, params);
+  const double noisy = fd_arq_goodput(1e-3, 0.01, params);
+  EXPECT_LT(noisy, clean);
+  EXPECT_GT(noisy, clean * 0.9);  // 1% verdict errors cost little
+}
+
+TEST(ArqModels, EnergyPerBitInverseOfGoodput) {
+  ArqModelParams params;
+  const double ber = 1e-3;
+  EXPECT_NEAR(stop_and_wait_energy_per_bit(ber, params) *
+                  stop_and_wait_goodput(ber, params),
+              1.0, 1e-9);
+  EXPECT_NEAR(fd_arq_energy_per_bit(ber, 0.0, params) *
+                  fd_arq_goodput(ber, 0.0, params),
+              1.0, 1e-9);
+}
+
+TEST(ArqModels, FdEnergyAdvantageGrowsWithBer) {
+  ArqModelParams params;
+  const double ratio_low = stop_and_wait_energy_per_bit(1e-4, params) /
+                           fd_arq_energy_per_bit(1e-4, 0.0, params);
+  const double ratio_high = stop_and_wait_energy_per_bit(5e-3, params) /
+                            fd_arq_energy_per_bit(5e-3, 0.0, params);
+  EXPECT_GT(ratio_high, ratio_low);
+}
+
+}  // namespace
+}  // namespace fdb::core

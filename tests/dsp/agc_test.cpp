@@ -1,0 +1,47 @@
+#include "dsp/agc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::dsp {
+namespace {
+
+TEST(Agc, ConvergesToTargetLevel) {
+  Agc agc(1.0f, 0.01f);
+  float y = 0.0f;
+  for (int i = 0; i < 10000; ++i) y = agc.process(0.1f);
+  EXPECT_NEAR(std::abs(y), 1.0f, 0.05f);
+}
+
+TEST(Agc, HandlesLargeInput) {
+  Agc agc(1.0f, 0.01f);
+  float y = 0.0f;
+  for (int i = 0; i < 10000; ++i) y = agc.process(50.0f);
+  EXPECT_NEAR(std::abs(y), 1.0f, 0.05f);
+}
+
+TEST(Agc, GainStaysPositive) {
+  Agc agc(1.0f, 1.0f);
+  for (int i = 0; i < 100; ++i) agc.process(1000.0f);
+  EXPECT_GT(agc.gain(), 0.0f);
+}
+
+TEST(Agc, ComplexPathPreservesPhase) {
+  Agc agc(1.0f, 0.005f);
+  cf32 y{};
+  for (int i = 0; i < 20000; ++i) y = agc.process(cf32{0.3f, 0.3f});
+  // Magnitude near target, phase preserved at 45 degrees.
+  EXPECT_NEAR(std::abs(y), 1.0f, 0.05f);
+  EXPECT_NEAR(std::arg(y), std::atan2(1.0, 1.0), 1e-3);
+}
+
+TEST(Agc, ResetRestoresUnityGain) {
+  Agc agc(1.0f, 0.1f);
+  for (int i = 0; i < 100; ++i) agc.process(10.0f);
+  agc.reset();
+  EXPECT_FLOAT_EQ(agc.gain(), 1.0f);
+}
+
+}  // namespace
+}  // namespace fdb::dsp

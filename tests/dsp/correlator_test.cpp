@@ -1,0 +1,113 @@
+#include "dsp/correlator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phy/preamble.hpp"
+#include "util/rng.hpp"
+
+namespace fdb::dsp {
+namespace {
+
+std::vector<float> stretch(const std::vector<float>& pattern,
+                           std::size_t spc, float high, float low) {
+  std::vector<float> out;
+  for (const float chip : pattern) {
+    for (std::size_t s = 0; s < spc; ++s) {
+      out.push_back(chip > 0 ? high : low);
+    }
+  }
+  return out;
+}
+
+TEST(SlidingCorrelator, PeaksAtAlignedPattern) {
+  const auto pattern = phy::chips_to_pattern(phy::barker13_chips());
+  const std::size_t spc = 4;
+  SlidingCorrelator corr(pattern, spc);
+
+  // Noise-free: pattern embedded after some offset.
+  std::vector<float> signal(40, 0.5f);
+  const auto burst = stretch(pattern, spc, 1.0f, 0.0f);
+  signal.insert(signal.end(), burst.begin(), burst.end());
+  signal.insert(signal.end(), 40, 0.5f);
+
+  float best = -2.0f;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const float c = corr.process(signal[i]);
+    if (c > best) {
+      best = c;
+      best_idx = i;
+    }
+  }
+  EXPECT_GT(best, 0.99f);
+  // Peak at the last sample of the embedded pattern.
+  EXPECT_EQ(best_idx, 40 + burst.size() - 1);
+}
+
+TEST(SlidingCorrelator, InvariantToDcOffset) {
+  const auto pattern = phy::chips_to_pattern(phy::barker11_chips());
+  SlidingCorrelator corr_lo(pattern, 2), corr_hi(pattern, 2);
+  const auto burst_lo = stretch(pattern, 2, 1.0f, 0.0f);
+  const auto burst_hi = stretch(pattern, 2, 101.0f, 100.0f);
+  float peak_lo = -2.0f, peak_hi = -2.0f;
+  for (std::size_t i = 0; i < burst_lo.size(); ++i) {
+    peak_lo = std::max(peak_lo, corr_lo.process(burst_lo[i]));
+    peak_hi = std::max(peak_hi, corr_hi.process(burst_hi[i]));
+  }
+  EXPECT_NEAR(peak_lo, peak_hi, 1e-4f);
+}
+
+TEST(SlidingCorrelator, LowOnRandomNoise) {
+  const auto pattern = phy::chips_to_pattern(phy::barker13_chips());
+  SlidingCorrelator corr(pattern, 4);
+  Rng rng(5);
+  float peak = -2.0f;
+  for (int i = 0; i < 5000; ++i) {
+    peak = std::max(peak, corr.process(static_cast<float>(rng.uniform())));
+  }
+  EXPECT_LT(peak, 0.6f);
+}
+
+TEST(SlidingCorrelator, NotWarmedUpReturnsZero) {
+  SlidingCorrelator corr({1.0f, -1.0f}, 4);
+  EXPECT_FLOAT_EQ(corr.process(1.0f), 0.0f);
+  EXPECT_FALSE(corr.warmed_up());
+}
+
+TEST(PeakDetector, ReportsPeakAfterLockout) {
+  PeakDetector det(0.5f, 3);
+  EXPECT_FALSE(det.process(0.2f).has_value());
+  EXPECT_FALSE(det.process(0.7f).has_value());  // starts tracking at idx 1
+  EXPECT_FALSE(det.process(0.9f).has_value());  // new best at idx 2
+  EXPECT_FALSE(det.process(0.6f).has_value());
+  EXPECT_FALSE(det.process(0.4f).has_value());
+  const auto peak = det.process(0.3f);  // 3 samples past best -> report
+  ASSERT_TRUE(peak.has_value());
+  EXPECT_EQ(*peak, 2u);
+}
+
+TEST(PeakDetector, IgnoresSubThreshold) {
+  PeakDetector det(0.8f, 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(det.process(0.5f).has_value());
+  }
+}
+
+TEST(PeakDetector, ResetsForNextPeak) {
+  PeakDetector det(0.5f, 2);
+  det.process(0.9f);
+  det.process(0.1f);
+  auto first = det.process(0.1f);
+  ASSERT_TRUE(first.has_value());
+  // A later, separate peak is also found.
+  det.process(0.95f);
+  det.process(0.1f);
+  const auto second = det.process(0.1f);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(*second, *first);
+}
+
+}  // namespace
+}  // namespace fdb::dsp

@@ -1,0 +1,101 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace fdb::dsp {
+namespace {
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(100));
+}
+
+TEST(Fft, DeltaTransformsToFlat) {
+  std::vector<cf32> x(8, cf32{});
+  x[0] = {1.0f, 0.0f};
+  fft(x);
+  for (const cf32 v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k = 5;
+  std::vector<cf32> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * k * i / n;
+    x[i] = {static_cast<float>(std::cos(angle)),
+            static_cast<float>(std::sin(angle))};
+  }
+  fft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == k) {
+      EXPECT_NEAR(std::abs(x[i]), static_cast<float>(n), 1e-2f);
+    } else {
+      EXPECT_NEAR(std::abs(x[i]), 0.0f, 1e-2f);
+    }
+  }
+}
+
+TEST(Fft, IfftInvertsFft) {
+  Rng rng(3);
+  std::vector<cf32> x(128);
+  for (auto& v : x) v = rng.cn(1.0);
+  const auto original = x;
+  fft(x);
+  ifft(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-4f);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-4f);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(4);
+  std::vector<cf32> x(256);
+  for (auto& v : x) v = rng.cn(1.0);
+  double time_energy = 0.0;
+  for (const cf32 v : x) time_energy += std::norm(v);
+  fft(x);
+  double freq_energy = 0.0;
+  for (const cf32 v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / x.size(), time_energy, time_energy * 1e-4);
+}
+
+TEST(Fft, FftShiftSwapsHalves) {
+  std::vector<cf32> x = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  fftshift(x);
+  EXPECT_FLOAT_EQ(x[0].real(), 2.0f);
+  EXPECT_FLOAT_EQ(x[1].real(), 3.0f);
+  EXPECT_FLOAT_EQ(x[2].real(), 0.0f);
+  EXPECT_FLOAT_EQ(x[3].real(), 1.0f);
+}
+
+TEST(PowerSpectrum, ToneBinDominates) {
+  const std::size_t n = 128;
+  std::vector<cf32> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * 10.0 * i / n;
+    x[i] = {static_cast<float>(std::cos(angle)),
+            static_cast<float>(std::sin(angle))};
+  }
+  const auto ps = power_spectrum(x);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < ps.size(); ++i) {
+    if (ps[i] > ps[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, 10u);
+}
+
+}  // namespace
+}  // namespace fdb::dsp

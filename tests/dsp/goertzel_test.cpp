@@ -1,0 +1,66 @@
+#include "dsp/goertzel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace fdb::dsp {
+namespace {
+
+std::vector<float> real_tone(double freq, double fs, std::size_t n) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * freq * i / fs));
+  }
+  return x;
+}
+
+TEST(Goertzel, DetectsMatchingTone) {
+  const double fs = 8000.0;
+  Goertzel g(1000.0, fs, 200);
+  const auto on = g.process_block(real_tone(1000.0, fs, 200));
+  const auto off = g.process_block(real_tone(2500.0, fs, 200));
+  EXPECT_GT(on, off * 100.0);
+}
+
+TEST(Goertzel, EnergyScalesWithAmplitude) {
+  const double fs = 8000.0;
+  Goertzel g(500.0, fs, 160);
+  auto tone = real_tone(500.0, fs, 160);
+  const double e1 = g.process_block(tone);
+  for (auto& x : tone) x *= 2.0f;
+  const double e2 = g.process_block(tone);
+  EXPECT_NEAR(e2 / e1, 4.0, 0.01);  // power scales with amplitude^2
+}
+
+TEST(Goertzel, ComplexToneDetection) {
+  const double fs = 8000.0;
+  const std::size_t n = 256;
+  Goertzel g(750.0, fs, n);
+  std::vector<cf32> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * 750.0 * i / fs;
+    x[i] = {static_cast<float>(std::cos(angle)),
+            static_cast<float>(std::sin(angle))};
+  }
+  const double on = g.process_block(std::span<const cf32>(x));
+  // A tone at a different frequency barely registers.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * 2000.0 * i / fs;
+    x[i] = {static_cast<float>(std::cos(angle)),
+            static_cast<float>(std::sin(angle))};
+  }
+  const double off = g.process_block(std::span<const cf32>(x));
+  EXPECT_GT(on, off * 50.0);
+}
+
+TEST(Goertzel, BlockLengthAccessor) {
+  Goertzel g(100.0, 1000.0, 64);
+  EXPECT_EQ(g.block_length(), 64u);
+}
+
+}  // namespace
+}  // namespace fdb::dsp

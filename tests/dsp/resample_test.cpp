@@ -1,0 +1,88 @@
+#include "dsp/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fdb::dsp {
+namespace {
+
+TEST(Decimator, OutputCountIsInputOverFactor) {
+  Decimator dec(4);
+  std::vector<float> in(400, 1.0f), out;
+  dec.process(in, out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Decimator, DcPreserved) {
+  Decimator dec(5);
+  std::vector<float> in(1000, 2.0f), out;
+  dec.process(in, out);
+  // After the filter transient the decimated signal equals DC level.
+  EXPECT_NEAR(out.back(), 2.0f, 1e-3f);
+}
+
+TEST(Decimator, RejectsAliasingTone) {
+  // A tone above the post-decimation Nyquist must be attenuated.
+  const std::size_t factor = 4;
+  Decimator dec(factor, 127);
+  std::vector<float> in(4000), out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::sin(2.0 * std::numbers::pi * 0.4 * i);  // 0.4 fs
+  }
+  dec.process(in, out);
+  float peak = 0.0f;
+  for (std::size_t i = out.size() / 2; i < out.size(); ++i) {
+    peak = std::max(peak, std::abs(out[i]));
+  }
+  EXPECT_LT(peak, 0.01f);
+}
+
+TEST(Interpolator, OutputCountIsInputTimesFactor) {
+  Interpolator interp(3);
+  std::vector<float> in(100, 1.0f), out;
+  interp.process(in, out);
+  EXPECT_EQ(out.size(), 300u);
+}
+
+TEST(Interpolator, DcGainRestored) {
+  Interpolator interp(4);
+  std::vector<float> in(500, 1.5f), out;
+  interp.process(in, out);
+  EXPECT_NEAR(out.back(), 1.5f, 2e-2f);
+}
+
+TEST(HoldInterpolator, RepeatsEachSample) {
+  HoldInterpolator hold(3);
+  std::vector<float> in = {1.0f, 2.0f}, out;
+  hold.process(in, out);
+  const std::vector<float> expected = {1, 1, 1, 2, 2, 2};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(DecimatorInterpolator, RoundTripPreservesSlowSignal) {
+  const std::size_t factor = 4;
+  Interpolator up(factor, 127);
+  Decimator down(factor, 127);
+  std::vector<float> in(2000), mid, out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::sin(2.0 * std::numbers::pi * 0.01 * i);
+  }
+  up.process(in, mid);
+  down.process(mid, out);
+  // Compare late (post-transient) portions; group delay shifts by
+  // ~(taps-1)/2 at the high rate per filter = ~31.5 low-rate samples.
+  ASSERT_GT(out.size(), 500u);
+  double err = 0.0;
+  int count = 0;
+  const std::size_t delay = 32;
+  for (std::size_t i = 500; i + delay < out.size() && i < in.size(); ++i) {
+    err += std::abs(out[i + delay] - in[i]);
+    ++count;
+  }
+  EXPECT_LT(err / count, 0.05);
+}
+
+}  // namespace
+}  // namespace fdb::dsp

@@ -1,0 +1,86 @@
+#include "dsp/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdb::dsp {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rb.push(i));
+  EXPECT_TRUE(rb.full());
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, PushWhenFullFails) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));
+}
+
+TEST(RingBuffer, PopWhenEmptyFails) {
+  RingBuffer<int> rb(2);
+  int v;
+  EXPECT_FALSE(rb.pop(v));
+}
+
+TEST(RingBuffer, WrapAroundPreservesOrder) {
+  RingBuffer<int> rb(3);
+  int v;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(rb.push(round * 2));
+    EXPECT_TRUE(rb.push(round * 2 + 1));
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, round * 2);
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, round * 2 + 1);
+  }
+}
+
+TEST(RingBuffer, PushManyPopMany) {
+  RingBuffer<int> rb(8);
+  const int data[5] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(rb.push_many(data, 5), 5u);
+  int out[5] = {};
+  EXPECT_EQ(rb.pop_many(out, 5), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(RingBuffer, PushManyPartialWhenNearlyFull) {
+  RingBuffer<int> rb(3);
+  const int data[5] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(rb.push_many(data, 5), 3u);
+}
+
+TEST(RingBuffer, PeekDoesNotConsume) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(20);
+  EXPECT_EQ(rb.peek(0), 10);
+  EXPECT_EQ(rb.peek(1), 20);
+  EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+}
+
+}  // namespace
+}  // namespace fdb::dsp

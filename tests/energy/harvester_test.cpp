@@ -1,0 +1,49 @@
+#include "energy/harvester.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/db.hpp"
+
+namespace fdb::energy {
+namespace {
+
+TEST(Harvester, BelowSensitivityHarvestsNothing) {
+  Harvester h;
+  EXPECT_DOUBLE_EQ(h.efficiency(dbm_to_watt(-40.0)), 0.0);
+  EXPECT_DOUBLE_EQ(h.harvested_power(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.harvested_power(-1.0), 0.0);
+}
+
+TEST(Harvester, PeakEfficiencyAtSaturation) {
+  Harvester h({.sensitivity_dbm = -24.0, .saturation_dbm = -4.0,
+               .peak_efficiency = 0.35});
+  EXPECT_DOUBLE_EQ(h.efficiency(dbm_to_watt(-4.0)), 0.35);
+  EXPECT_DOUBLE_EQ(h.efficiency(dbm_to_watt(10.0)), 0.35);
+}
+
+TEST(Harvester, EfficiencyRampsMonotonically) {
+  Harvester h;
+  double prev = -1.0;
+  for (double dbm = -24.0; dbm <= -4.0; dbm += 2.0) {
+    const double eff = h.efficiency(dbm_to_watt(dbm));
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Harvester, MidpointEfficiencyHalf) {
+  Harvester h({.sensitivity_dbm = -20.0, .saturation_dbm = -10.0,
+               .peak_efficiency = 0.4});
+  EXPECT_NEAR(h.efficiency(dbm_to_watt(-15.0)), 0.2, 1e-9);
+}
+
+TEST(Harvester, EnergyIntegratesOverTime) {
+  Harvester h({.sensitivity_dbm = -30.0, .saturation_dbm = -20.0,
+               .peak_efficiency = 0.5});
+  const double p_in = dbm_to_watt(-10.0);  // saturated: eff 0.5
+  EXPECT_NEAR(h.harvest(p_in, 2.0), p_in * 0.5 * 2.0, 1e-15);
+  EXPECT_DOUBLE_EQ(h.harvest(p_in, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fdb::energy

@@ -1,0 +1,56 @@
+#include "energy/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::energy {
+namespace {
+
+TEST(Ledger, AccumulatesPerState) {
+  EnergyLedger ledger;
+  ledger.spend(TagState::kListening, 2.0);
+  ledger.spend(TagState::kListening, 1.0);
+  ledger.spend(TagState::kIdle, 10.0);
+  EXPECT_DOUBLE_EQ(ledger.time_in_state_s(TagState::kListening), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.time_in_state_s(TagState::kIdle), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.total_time_s(), 13.0);
+}
+
+TEST(Ledger, EnergyUsesProfilePowers) {
+  PowerProfile profile;
+  profile.listening_w = 1e-6;
+  profile.idle_w = 1e-7;
+  EnergyLedger ledger(profile);
+  ledger.spend(TagState::kListening, 5.0);
+  ledger.spend(TagState::kIdle, 10.0);
+  EXPECT_NEAR(ledger.total_energy_j(), 5e-6 + 1e-6, 1e-15);
+  EXPECT_NEAR(ledger.energy_in_state_j(TagState::kListening), 5e-6, 1e-15);
+}
+
+TEST(Ledger, BackscatterCostsMoreThanListening) {
+  const PowerProfile profile;
+  EXPECT_GT(profile.power(TagState::kBackscattering),
+            profile.power(TagState::kListening));
+  EXPECT_GT(profile.power(TagState::kListening),
+            profile.power(TagState::kIdle));
+}
+
+TEST(Ledger, EnergyPerBit) {
+  EnergyLedger ledger;
+  ledger.spend(TagState::kListening, 1.0);
+  const double total = ledger.total_energy_j();
+  EXPECT_DOUBLE_EQ(ledger.energy_per_bit_j(1000), total / 1000.0);
+  EXPECT_TRUE(std::isinf(ledger.energy_per_bit_j(0)));
+}
+
+TEST(Ledger, ResetZeroes) {
+  EnergyLedger ledger;
+  ledger.spend(TagState::kDecoding, 4.0);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_time_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace fdb::energy

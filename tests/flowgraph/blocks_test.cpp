@@ -1,0 +1,117 @@
+#include "flowgraph/blocks_std.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flowgraph/graph.hpp"
+
+namespace fdb::fg {
+namespace {
+
+// Helper: run src -> block -> sink, return sink contents.
+std::vector<float> run_through(BlockPtr block, std::vector<float> input) {
+  Graph graph;
+  auto source = std::make_shared<VectorSourceF>(std::move(input));
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto b = graph.add(std::move(block));
+  const auto k = graph.add(sink);
+  EXPECT_TRUE(graph.connect(s, 0, b, 0));
+  EXPECT_TRUE(graph.connect(b, 0, k, 0));
+  graph.run();
+  return sink->data();
+}
+
+TEST(Blocks, KeepOneInNDecimates) {
+  auto out = run_through(std::make_shared<KeepOneInN>(3),
+                         {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<float> expected = {0, 3, 6};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Blocks, MovingAverageBlockSmoothes) {
+  auto out = run_through(std::make_shared<MovingAverageBlockF>(2),
+                         {2.0f, 4.0f, 6.0f});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);   // warm-up: single sample
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+  EXPECT_FLOAT_EQ(out[2], 5.0f);
+}
+
+TEST(Blocks, FirBlockFiltersImpulse) {
+  auto out = run_through(std::make_shared<FirBlockF>(
+                             std::vector<float>{0.25f, 0.75f}),
+                         {1.0f, 0.0f, 0.0f});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0], 0.25f);
+  EXPECT_FLOAT_EQ(out[1], 0.75f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+}
+
+TEST(Blocks, NullSinkCounts) {
+  Graph graph;
+  auto source = std::make_shared<VectorSourceF>(std::vector<float>(123, 1.0f));
+  auto sink = std::make_shared<NullSinkF>();
+  const auto s = graph.add(source);
+  const auto k = graph.add(sink);
+  ASSERT_TRUE(graph.connect(s, 0, k, 0));
+  graph.run();
+  EXPECT_EQ(sink->consumed(), 123u);
+}
+
+TEST(Blocks, EnvelopeBlockOutputsMagnitude) {
+  Graph graph;
+  std::vector<cf32> carrier(20000, cf32{0.0f, 2.0f});
+  auto source = std::make_shared<VectorSourceC>(carrier);
+  auto env = std::make_shared<EnvelopeBlock>(1000.0, 100000.0);
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto e = graph.add(env);
+  const auto k = graph.add(sink);
+  ASSERT_TRUE(graph.connect(s, 0, e, 0));
+  ASSERT_TRUE(graph.connect(e, 0, k, 0));
+  graph.run();
+  ASSERT_EQ(sink->data().size(), carrier.size());
+  EXPECT_NEAR(sink->data().back(), 2.0f, 1e-2f);
+}
+
+TEST(Blocks, MultiplyBlockMixesStreams) {
+  Graph graph;
+  auto a = std::make_shared<VectorSourceC>(
+      std::vector<cf32>{{1, 0}, {0, 1}});
+  auto b = std::make_shared<VectorSourceC>(
+      std::vector<cf32>{{2, 0}, {0, 2}});
+  auto mul = std::make_shared<MultiplyBlockC>();
+  auto sink = std::make_shared<VectorSinkC>();
+  const auto ia = graph.add(a);
+  const auto ib = graph.add(b);
+  const auto im = graph.add(mul);
+  const auto ik = graph.add(sink);
+  ASSERT_TRUE(graph.connect(ia, 0, im, 0));
+  ASSERT_TRUE(graph.connect(ib, 0, im, 1));
+  ASSERT_TRUE(graph.connect(im, 0, ik, 0));
+  graph.run();
+  ASSERT_EQ(sink->data().size(), 2u);
+  EXPECT_FLOAT_EQ(sink->data()[0].real(), 2.0f);
+  EXPECT_FLOAT_EQ(sink->data()[1].real(), -2.0f);  // j * 2j = -2
+}
+
+TEST(Blocks, CallbackSourceProducesUntilFalse) {
+  Graph graph;
+  int calls = 0;
+  auto source = std::make_shared<CallbackSourceC>(
+      [&calls](std::vector<cf32>& out) {
+        out.assign(100, cf32{1.0f, 0.0f});
+        return ++calls < 5;
+      });
+  auto sink = std::make_shared<VectorSinkC>();
+  const auto s = graph.add(source);
+  const auto k = graph.add(sink);
+  ASSERT_TRUE(graph.connect(s, 0, k, 0));
+  graph.run();
+  EXPECT_EQ(sink->data().size(), 500u);
+}
+
+}  // namespace
+}  // namespace fdb::fg

@@ -1,0 +1,116 @@
+#include "flowgraph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flowgraph/blocks_std.hpp"
+
+namespace fdb::fg {
+namespace {
+
+TEST(Graph, SourceToSinkMovesAllData) {
+  Graph graph;
+  std::vector<float> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i);
+  }
+  auto source = std::make_shared<VectorSourceF>(data);
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto k = graph.add(sink);
+  ASSERT_TRUE(graph.connect(s, 0, k, 0));
+  EXPECT_GT(graph.run(), 0u);
+  EXPECT_EQ(sink->data(), data);
+}
+
+TEST(Graph, SmallBuffersStillDrainEverything) {
+  Graph graph(/*default_buffer_items=*/7);  // far below payload size
+  std::vector<float> data(1000, 1.5f);
+  auto source = std::make_shared<VectorSourceF>(data);
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto k = graph.add(sink);
+  ASSERT_TRUE(graph.connect(s, 0, k, 0));
+  graph.run();
+  EXPECT_EQ(sink->data().size(), 1000u);
+}
+
+TEST(Graph, TypeMismatchRejected) {
+  Graph graph;
+  auto source = std::make_shared<VectorSourceC>(std::vector<cf32>{});
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto k = graph.add(sink);
+  EXPECT_FALSE(graph.connect(s, 0, k, 0));
+}
+
+TEST(Graph, DoubleWiringRejected) {
+  Graph graph;
+  auto source = std::make_shared<VectorSourceF>(std::vector<float>{1.0f});
+  auto sink1 = std::make_shared<VectorSinkF>();
+  auto sink2 = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto k1 = graph.add(sink1);
+  const auto k2 = graph.add(sink2);
+  EXPECT_TRUE(graph.connect(s, 0, k1, 0));
+  EXPECT_FALSE(graph.connect(s, 0, k2, 0));
+}
+
+TEST(Graph, ValidateFlagsUnwiredPorts) {
+  Graph graph;
+  graph.add(std::make_shared<VectorSinkF>());
+  EXPECT_FALSE(graph.validate().empty());
+  EXPECT_EQ(graph.run(), 0u);  // refuses to run an invalid graph
+}
+
+TEST(Graph, PipelineWithTransform) {
+  Graph graph;
+  auto source = std::make_shared<VectorSourceF>(
+      std::vector<float>{1.0f, 2.0f, 3.0f});
+  auto doubler = std::make_shared<FunctionBlockF>(
+      "double", [](float x) { return 2.0f * x; });
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto s = graph.add(source);
+  const auto d = graph.add(doubler);
+  const auto k = graph.add(sink);
+  ASSERT_TRUE(graph.connect(s, 0, d, 0));
+  ASSERT_TRUE(graph.connect(d, 0, k, 0));
+  graph.run();
+  const std::vector<float> expected = {2.0f, 4.0f, 6.0f};
+  EXPECT_EQ(sink->data(), expected);
+}
+
+TEST(Graph, FanInWithAdd) {
+  Graph graph;
+  auto a = std::make_shared<VectorSourceF>(std::vector<float>{1, 2, 3});
+  auto b = std::make_shared<VectorSourceF>(std::vector<float>{10, 20, 30});
+  auto add = std::make_shared<AddBlockF>();
+  auto sink = std::make_shared<VectorSinkF>();
+  const auto ia = graph.add(a);
+  const auto ib = graph.add(b);
+  const auto iadd = graph.add(add);
+  const auto ik = graph.add(sink);
+  ASSERT_TRUE(graph.connect(ia, 0, iadd, 0));
+  ASSERT_TRUE(graph.connect(ib, 0, iadd, 1));
+  ASSERT_TRUE(graph.connect(iadd, 0, ik, 0));
+  graph.run();
+  const std::vector<float> expected = {11, 22, 33};
+  EXPECT_EQ(sink->data(), expected);
+}
+
+TEST(Graph, ProbeAccumulatesStats) {
+  Graph graph;
+  auto source = std::make_shared<VectorSourceF>(
+      std::vector<float>(500, 3.0f));
+  auto probe = std::make_shared<ProbeStatsF>();
+  const auto s = graph.add(source);
+  const auto p = graph.add(probe);
+  ASSERT_TRUE(graph.connect(s, 0, p, 0));
+  graph.run();
+  EXPECT_EQ(probe->stats().count(), 500u);
+  EXPECT_DOUBLE_EQ(probe->stats().mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace fdb::fg

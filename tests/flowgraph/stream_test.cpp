@@ -1,0 +1,87 @@
+#include "flowgraph/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fdb::fg {
+namespace {
+
+TEST(StreamBuffer, ItemSizes) {
+  EXPECT_EQ(item_size(ItemType::kF32), sizeof(float));
+  EXPECT_EQ(item_size(ItemType::kCF32), sizeof(cf32));
+  EXPECT_EQ(item_size(ItemType::kU8), 1u);
+}
+
+TEST(StreamBuffer, WriteReadRoundTrip) {
+  StreamBuffer buf(ItemType::kF32, 16);
+  const std::vector<float> in = {1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(buf.write_items(std::span<const float>(in)), 3u);
+  EXPECT_EQ(buf.readable(), 3u);
+  std::vector<float> out(3);
+  EXPECT_EQ(buf.peek_items(std::span<float>(out)), 3u);
+  EXPECT_EQ(out, in);
+  buf.consume(3);
+  EXPECT_EQ(buf.readable(), 0u);
+}
+
+TEST(StreamBuffer, BackpressureAtCapacity) {
+  StreamBuffer buf(ItemType::kF32, 4);
+  const std::vector<float> in(10, 1.0f);
+  EXPECT_EQ(buf.write_items(std::span<const float>(in)), 4u);
+  EXPECT_EQ(buf.writable(), 0u);
+  buf.consume(2);
+  EXPECT_EQ(buf.writable(), 2u);
+}
+
+TEST(StreamBuffer, WrapAroundPreservesData) {
+  StreamBuffer buf(ItemType::kF32, 4);
+  std::vector<float> out(2);
+  for (float round = 0; round < 20; ++round) {
+    const std::vector<float> in = {round, round + 0.5f};
+    ASSERT_EQ(buf.write_items(std::span<const float>(in)), 2u);
+    ASSERT_EQ(buf.peek_items(std::span<float>(out)), 2u);
+    EXPECT_FLOAT_EQ(out[0], round);
+    EXPECT_FLOAT_EQ(out[1], round + 0.5f);
+    buf.consume(2);
+  }
+}
+
+TEST(StreamBuffer, AbsoluteCountersAdvance) {
+  StreamBuffer buf(ItemType::kU8, 8);
+  const std::vector<std::uint8_t> in = {1, 2, 3};
+  buf.write_items(std::span<const std::uint8_t>(in));
+  buf.consume(2);
+  EXPECT_EQ(buf.items_written(), 3u);
+  EXPECT_EQ(buf.items_read(), 2u);
+}
+
+TEST(StreamBuffer, TagsVisibleInReadRange) {
+  StreamBuffer buf(ItemType::kF32, 16);
+  const std::vector<float> in(8, 0.0f);
+  buf.write_items(std::span<const float>(in));
+  buf.add_tag({5, "frame_start", 1.0});
+  const auto tags = buf.tags_in_read_range(8);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0].key, "frame_start");
+  EXPECT_EQ(tags[0].offset, 5u);
+}
+
+TEST(StreamBuffer, TagsDroppedOnceConsumed) {
+  StreamBuffer buf(ItemType::kF32, 16);
+  const std::vector<float> in(8, 0.0f);
+  buf.write_items(std::span<const float>(in));
+  buf.add_tag({2, "old", 0.0});
+  buf.consume(4);
+  EXPECT_TRUE(buf.tags_in_read_range(4).empty());
+}
+
+TEST(StreamBuffer, CloseMarksEndOfStream) {
+  StreamBuffer buf(ItemType::kF32, 4);
+  EXPECT_FALSE(buf.closed());
+  buf.close();
+  EXPECT_TRUE(buf.closed());
+}
+
+}  // namespace
+}  // namespace fdb::fg

@@ -1,0 +1,102 @@
+// End-to-end closed loop: A's frame decoded at B while B's feedback is
+// decoded at A, over the full sample-level channel — then the verdicts
+// B computed are the bits A recovers.
+#include <gtest/gtest.h>
+
+#include "core/fd_modem.hpp"
+#include "core/frame_schedule.hpp"
+#include "sim/link_sim.hpp"
+
+namespace fdb {
+namespace {
+
+sim::LinkSimConfig loop_config() {
+  sim::LinkSimConfig config;
+  config.modem = core::FdModemConfig::make(4, 6);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.seed = 77;
+  return config;
+}
+
+TEST(FdEndToEnd, VerdictsTravelBackIntact) {
+  // Stage 1: run a data frame A->B and collect B's per-block verdicts.
+  auto config = loop_config();
+  sim::LinkSimulator sim(config);
+  sim.set_payload_bytes(16);  // 4 blocks
+  const auto trial = sim.run_trial();
+  ASSERT_TRUE(trial.sync_ok);
+  ASSERT_EQ(trial.block_ok.size(), 4u);
+
+  // Stage 2: encode the verdicts as feedback bits and run them over the
+  // reverse channel while A keeps transmitting — done inside run_trial
+  // for random bits; here we verify the dedicated encoder/decoder pair
+  // over a synthetic capture consistent with the channel gains.
+  core::FeedbackEncoder encoder(config.modem.data.rates,
+                                config.modem.feedback);
+  core::FeedbackDecoder decoder(config.modem.data.rates,
+                                config.modem.feedback);
+  std::vector<std::uint8_t> verdict_bits;
+  for (const bool ok : trial.block_ok) verdict_bits.push_back(ok ? 1 : 0);
+  const auto states = encoder.encode(verdict_bits);
+
+  // Feedback swing relative to A's own signal mirrors the link budget.
+  std::vector<float> envelope(states.size());
+  std::vector<std::uint8_t> own(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    own[i] = (i / 12) % 2;  // A's chips keep toggling
+    double level = 1.0;
+    if (own[i]) level += 0.5;
+    if (states[i]) level += 0.05;
+    envelope[i] = static_cast<float>(level);
+  }
+  const auto decoded = decoder.decode(envelope, own, verdict_bits.size());
+  ASSERT_EQ(decoded.bits.size(), verdict_bits.size());
+  EXPECT_EQ(decoded.bits, verdict_bits);
+}
+
+TEST(FdEndToEnd, ScheduleAlignsVerdictsWithinFrame) {
+  // The verdict for the last block must arrive before the frame ends
+  // plus the scheduled drain slots — early termination depends on it.
+  const auto config = loop_config();
+  core::FrameSchedule schedule(config.modem.data.rates,
+                               config.modem.schedule);
+  const std::size_t blocks = 4;
+  const std::size_t slots = schedule.slots_for_blocks(blocks);
+  EXPECT_EQ(slots, blocks + config.modem.schedule.decode_delay_slots);
+  // Sample positions are within the burst extended by drain slots.
+  core::FdDataTransmitter tx(config.modem);
+  const std::size_t burst = tx.burst_samples(16);
+  const std::size_t last_verdict_sample =
+      tx.preamble_samples() +
+      schedule.slot_start_sample(schedule.verdict_slot(blocks - 1));
+  const std::size_t drain =
+      config.modem.schedule.decode_delay_slots *
+      config.modem.data.rates.samples_per_feedback_bit();
+  EXPECT_LE(last_verdict_sample, burst + drain);
+}
+
+TEST(FdEndToEnd, BothDirectionsSimultaneouslyClean) {
+  auto config = loop_config();
+  sim::LinkSimulator sim(config);
+  sim.set_payload_bytes(16);
+  const auto summary = sim.run(10);
+  EXPECT_EQ(summary.data.errors(), 0u);
+  EXPECT_EQ(summary.feedback.errors(), 0u);
+  EXPECT_EQ(summary.sync_failures, 0u);
+}
+
+TEST(FdEndToEnd, HalfDuplexAblationMatchesFullDuplex) {
+  // Removing the concurrent feedback must not change data performance
+  // in the clean regime (E1's flat line).
+  auto fd = loop_config();
+  auto hd = loop_config();
+  hd.feedback_active = false;
+  sim::LinkSimulator sim_fd(fd), sim_hd(hd);
+  sim_fd.set_payload_bytes(16);
+  sim_hd.set_payload_bytes(16);
+  EXPECT_EQ(sim_fd.run(5).data.errors(), sim_hd.run(5).data.errors());
+}
+
+}  // namespace
+}  // namespace fdb

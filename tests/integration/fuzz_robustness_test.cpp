@@ -1,0 +1,161 @@
+// Failure injection / fuzz-style robustness: malformed, truncated and
+// adversarial inputs must produce sane statuses — never crashes, hangs
+// or bogus "ok" results.
+#include <gtest/gtest.h>
+
+#include "phy/framer.hpp"
+#include "phy/line_code.hpp"
+#include "phy/modem.hpp"
+#include "phy/stream_rx.hpp"
+#include "util/rng.hpp"
+
+namespace fdb {
+namespace {
+
+TEST(Fuzz, DeframeRandomBitsNeverFalselyAccepts) {
+  // With random input, header CRC8 passes ~1/256 of the time and the
+  // body CRC16 then passes ~1/65536 — over 2000 trials a false kOk is
+  // a ~3% tail event; assert it stays rare and statuses stay sane.
+  Rng rng(101);
+  int false_ok = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bits(rng.uniform_int(600));
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const auto result = phy::deframe_bits(bits);
+    switch (result.status) {
+      case Status::kOk:
+        ++false_ok;
+        break;
+      case Status::kCrcMismatch:
+      case Status::kTruncated:
+        break;
+      default:
+        FAIL() << "unexpected status " << to_string(result.status);
+    }
+  }
+  EXPECT_LE(false_ok, 2);
+}
+
+TEST(Fuzz, DecodeBlocksArbitraryLengthsSafe) {
+  Rng rng(103);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bits(rng.uniform_int(400));
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const std::size_t payload = rng.uniform_int(64);
+    const std::size_t block = 1 + rng.uniform_int(16);
+    const auto result = phy::decode_blocks(bits, payload, block);
+    EXPECT_EQ(result.payload.size(), payload);
+    EXPECT_EQ(result.block_ok.size(),
+              payload == 0 ? 0 : (payload + block - 1) / block);
+  }
+}
+
+TEST(Fuzz, LineCodesRejectOrRoundTripArbitraryChips) {
+  Rng rng(107);
+  for (const auto code :
+       {phy::LineCode::kFm0, phy::LineCode::kManchester,
+        phy::LineCode::kMiller2, phy::LineCode::kNrz}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint8_t> chips(rng.uniform_int(100));
+      for (auto& c : chips) c = rng.chance(0.5) ? 1 : 0;
+      const auto bits = phy::decode(code, chips);
+      if (bits.has_value()) {
+        EXPECT_EQ(bits->size(), chips.size() / 2);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, ModemSurvivesPathologicalEnvelopes) {
+  phy::ModemConfig config;
+  config.rates.samples_per_chip = 8;
+  phy::BackscatterRx rx(config);
+  Rng rng(109);
+
+  // Constant, ramp, impulse train, huge dynamic range, denormal-small.
+  std::vector<std::vector<float>> cases;
+  cases.emplace_back(5000, 1.0f);
+  {
+    std::vector<float> ramp(5000);
+    for (std::size_t i = 0; i < ramp.size(); ++i) {
+      ramp[i] = static_cast<float>(i) * 1e-3f;
+    }
+    cases.push_back(std::move(ramp));
+  }
+  {
+    std::vector<float> impulses(5000, 0.0f);
+    for (std::size_t i = 0; i < impulses.size(); i += 97) {
+      impulses[i] = 1e6f;
+    }
+    cases.push_back(std::move(impulses));
+  }
+  cases.emplace_back(5000, 1e-30f);
+  {
+    std::vector<float> noise(5000);
+    for (auto& x : noise) x = static_cast<float>(rng.uniform(0.0, 1e9));
+    cases.push_back(std::move(noise));
+  }
+
+  for (const auto& env : cases) {
+    const auto result = rx.demodulate_frame(env);
+    // Any status is acceptable except a successful decode of garbage.
+    EXPECT_NE(result.status, Status::kOk);
+  }
+}
+
+TEST(Fuzz, StreamingReceiverSurvivesRandomChunks) {
+  phy::ModemConfig config;
+  config.rates.samples_per_chip = 8;
+  std::size_t frames = 0;
+  phy::StreamingReceiver receiver(
+      config, [&](const phy::StreamFrame&) { ++frames; });
+  Rng rng(113);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<float> chunk(rng.uniform_int(2048));
+    for (auto& x : chunk) {
+      x = static_cast<float>(rng.uniform(0.0, 2.0));
+    }
+    receiver.process(chunk);
+  }
+  // Uniform noise should essentially never assemble a CRC-valid frame.
+  EXPECT_LE(frames, 50u);  // handler may fire on CRC-failed candidates
+}
+
+TEST(Fuzz, BitErrorInjectionAlwaysCaughtOrCorrectPayload) {
+  // Flip 1..8 random chips of a valid frame: the decoder must either
+  // return the exact payload (error landed in padding / got absorbed)
+  // or flag a CRC failure — never a wrong payload marked kOk.
+  phy::ModemConfig config;
+  config.rates.samples_per_chip = 8;
+  phy::BackscatterTx tx(config);
+  phy::BackscatterRx rx(config);
+  Rng rng(127);
+  std::vector<std::uint8_t> payload(24);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+
+  for (int trial = 0; trial < 60; ++trial) {
+    auto states = tx.modulate_frame(payload);
+    const std::size_t flips = 1 + rng.uniform_int(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      // Flip one whole chip (all its samples) inside the data section.
+      const std::size_t preamble =
+          phy::default_preamble_length() * config.rates.samples_per_chip;
+      const std::size_t chip_count =
+          (states.size() - preamble) / config.rates.samples_per_chip;
+      const std::size_t chip = rng.uniform_int(chip_count);
+      for (std::size_t s = 0; s < config.rates.samples_per_chip; ++s) {
+        states[preamble + chip * config.rates.samples_per_chip + s] ^= 1u;
+      }
+    }
+    std::vector<float> env(200, 1.0f);
+    for (const auto s : states) env.push_back(s ? 1.4f : 1.0f);
+    env.insert(env.end(), 200, 1.0f);
+    const auto result = rx.demodulate_frame(env);
+    if (result.status == Status::kOk) {
+      EXPECT_EQ(result.payload, payload);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,147 @@
+// Parameterised property sweeps over the end-to-end system: invariants
+// that must hold across whole parameter ranges, not just single points.
+#include <gtest/gtest.h>
+
+#include "core/theory.hpp"
+#include "mac/arq.hpp"
+#include "sim/link_budget.hpp"
+#include "sim/link_sim.hpp"
+
+namespace fdb {
+namespace {
+
+sim::LinkSimConfig prop_config() {
+  sim::LinkSimConfig config;
+  config.modem = core::FdModemConfig::make(4, 6);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.seed = 11;
+  return config;
+}
+
+// ---- Budget properties over distance -------------------------------
+
+class BudgetOverDistance : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetOverDistance, SwingAndHarvestFinitePositive) {
+  auto config = prop_config();
+  config.a_to_b_m = GetParam();
+  const auto budget = sim::compute_link_budget(config);
+  EXPECT_GT(budget.delta_env_at_b, 0.0);
+  EXPECT_GT(budget.incident_at_b_w, 0.0);
+  EXPECT_GE(budget.predicted_data_ber, 0.0);
+  EXPECT_LE(budget.predicted_data_ber, 0.5);
+}
+
+TEST_P(BudgetOverDistance, FeedbackNeverWorseThanData) {
+  auto config = prop_config();
+  config.a_to_b_m = GetParam();
+  config.noise_power_override_w = 1e-9;
+  const auto budget = sim::compute_link_budget(config);
+  EXPECT_LE(budget.predicted_feedback_ber,
+            budget.predicted_data_ber + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, BudgetOverDistance,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 3.0, 5.0));
+
+// ---- ARQ model properties over BER ----------------------------------
+
+class ArqOverBer : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArqOverBer, GoodputsInUnitInterval) {
+  const double ber = GetParam();
+  core::ArqModelParams params;
+  for (const double g :
+       {core::stop_and_wait_goodput(ber, params),
+        core::selective_repeat_goodput(ber, params),
+        core::fd_arq_goodput(ber, 0.0, params)}) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST_P(ArqOverBer, FdNeverLosesBadly) {
+  // FD-ARQ pays per-block CRC overhead, so at very low BER the frame
+  // baselines can edge it out — but never by more than the CRC overhead
+  // ratio; and with rising BER FD must win.
+  const double ber = GetParam();
+  core::ArqModelParams params;
+  const double fd = core::fd_arq_goodput(ber, 0.0, params);
+  const double sr = core::selective_repeat_goodput(ber, params);
+  const double overhead =
+      static_cast<double>(params.block_bits) /
+      static_cast<double>(params.block_bits + params.block_overhead_bits);
+  EXPECT_GE(fd, sr * overhead * 0.95);
+}
+
+TEST_P(ArqOverBer, SimulationTracksModel) {
+  const double ber = GetParam();
+  if (ber > 5e-3) GTEST_SKIP() << "sim too slow at extreme BER";
+  mac::IidBlockChannel channel(ber, 0.0, Rng(21));
+  mac::FullDuplexInstantArq arq;
+  mac::ArqParams params;
+  const auto stats = arq.run(200, channel, params);
+  core::ArqModelParams model;
+  model.payload_bits = params.payload_bytes * 8;
+  model.block_bits = params.block_bytes * 8;
+  model.block_overhead_bits = params.block_crc_bits;
+  model.frame_overhead_bits = params.frame_overhead_bits;
+  model.preamble_bits = params.preamble_bits;
+  const double predicted = core::fd_arq_goodput(ber, 0.0, model);
+  EXPECT_NEAR(stats.goodput(), predicted,
+              std::max(predicted * 0.2, 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bers, ArqOverBer,
+                         ::testing::Values(0.0, 1e-4, 5e-4, 1e-3, 5e-3,
+                                           2e-2));
+
+// ---- Reflectivity trade-off ------------------------------------------
+
+class RhoTradeoff : public ::testing::TestWithParam<double> {};
+
+TEST_P(RhoTradeoff, HarvestFractionComplements) {
+  const double rho = GetParam();
+  const channel::BackscatterModulator mod(
+      channel::ReflectionStates::ook(rho));
+  EXPECT_NEAR(mod.harvest_fraction(true), 1.0 - rho, 1e-6);
+  EXPECT_NEAR(mod.harvest_fraction(false), 1.0, 1e-6);
+}
+
+TEST_P(RhoTradeoff, BudgetSwingMonotoneInRho) {
+  auto lo = prop_config();
+  lo.reflection_rho = GetParam();
+  auto hi = lo;
+  hi.reflection_rho = std::min(1.0, GetParam() + 0.1);
+  EXPECT_LE(sim::compute_link_budget(lo).delta_env_at_b,
+            sim::compute_link_budget(hi).delta_env_at_b + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, RhoTradeoff,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ---- Rate asymmetry property -----------------------------------------
+
+class AsymmetrySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AsymmetrySweep, FeedbackWindowGrowsWithBlockSize) {
+  const std::size_t block_bytes = GetParam();
+  const auto config = core::FdModemConfig::make(block_bytes, 6);
+  EXPECT_TRUE(config.consistent());
+  EXPECT_EQ(config.data.rates.samples_per_feedback_bit(),
+            config.block_bits() * config.data.rates.samples_per_bit());
+  // Theoretical feedback BER improves with the window.
+  const double small_window = core::feedback_ber(0.01, 0.1, 64, true);
+  const double this_window = core::feedback_ber(
+      0.01, 0.1, config.data.rates.samples_per_feedback_bit(), true);
+  if (config.data.rates.samples_per_feedback_bit() > 64) {
+    EXPECT_LE(this_window, small_window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, AsymmetrySweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,77 @@
+#include "mac/block_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdb::mac {
+namespace {
+
+TEST(IidBlockChannel, ZeroBerNeverCorrupts) {
+  IidBlockChannel channel(0.0, 0.0, Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(channel.block_corrupted(100));
+    EXPECT_FALSE(channel.feedback_flipped());
+  }
+}
+
+TEST(IidBlockChannel, CertainBerAlwaysCorrupts) {
+  IidBlockChannel channel(1.0, 1.0, Rng(2));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(channel.block_corrupted(1));
+    EXPECT_TRUE(channel.feedback_flipped());
+  }
+}
+
+TEST(IidBlockChannel, BlockErrorRateMatchesClosedForm) {
+  const double ber = 0.002;
+  const std::size_t bits = 72;
+  IidBlockChannel channel(ber, 0.0, Rng(3));
+  int corrupted = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    corrupted += channel.block_corrupted(bits) ? 1 : 0;
+  }
+  const double expected = 1.0 - std::pow(1.0 - ber, bits);
+  EXPECT_NEAR(static_cast<double>(corrupted) / n, expected, 0.005);
+}
+
+TEST(IidBlockChannel, FeedbackFlipRate) {
+  IidBlockChannel channel(0.0, 0.05, Rng(4));
+  int flips = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) flips += channel.feedback_flipped() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(flips) / n, 0.05, 0.005);
+}
+
+TEST(IidBlockChannel, LongerBlocksCorruptMoreOften) {
+  IidBlockChannel a(0.001, 0.0, Rng(5));
+  IidBlockChannel b(0.001, 0.0, Rng(5));
+  int corrupt_short = 0, corrupt_long = 0;
+  for (int i = 0; i < 50000; ++i) {
+    corrupt_short += a.block_corrupted(50) ? 1 : 0;
+    corrupt_long += b.block_corrupted(500) ? 1 : 0;
+  }
+  EXPECT_GT(corrupt_long, corrupt_short);
+}
+
+TEST(TraceBlockChannel, ReplaysVerdictsInOrder) {
+  TraceBlockChannel channel;
+  channel.push_block_verdict(false);
+  channel.push_block_verdict(true);
+  channel.push_block_verdict(false);
+  EXPECT_FALSE(channel.block_corrupted(10));
+  EXPECT_TRUE(channel.block_corrupted(10));
+  EXPECT_FALSE(channel.block_corrupted(10));
+}
+
+TEST(TraceBlockChannel, RepeatsLastWhenDrained) {
+  TraceBlockChannel channel;
+  channel.push_block_verdict(true);
+  EXPECT_TRUE(channel.block_corrupted(1));
+  EXPECT_TRUE(channel.block_corrupted(1));  // repeats
+  channel.push_feedback_flip(false);
+  EXPECT_FALSE(channel.feedback_flipped());
+  EXPECT_FALSE(channel.feedback_flipped());
+}
+
+}  // namespace
+}  // namespace fdb::mac

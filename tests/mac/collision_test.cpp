@@ -1,0 +1,78 @@
+#include "mac/collision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdb::mac {
+namespace {
+
+CollisionSimParams base_params(std::size_t tags) {
+  CollisionSimParams params;
+  params.num_tags = tags;
+  params.sim_slots = 100000;
+  params.seed = 7;
+  return params;
+}
+
+TEST(Collision, SingleTagNeverCollides) {
+  for (const auto kind : {MacKind::kTimeout, MacKind::kCollisionNotify}) {
+    const auto stats = run_collision_sim(kind, base_params(1));
+    EXPECT_EQ(stats.collisions, 0u);
+    EXPECT_GT(stats.frames_delivered, 0u);
+  }
+}
+
+TEST(Collision, NotifyReducesWastedAirtime) {
+  const auto timeout =
+      run_collision_sim(MacKind::kTimeout, base_params(6));
+  const auto notify =
+      run_collision_sim(MacKind::kCollisionNotify, base_params(6));
+  EXPECT_LT(notify.wasted_airtime_fraction(),
+            timeout.wasted_airtime_fraction());
+}
+
+TEST(Collision, NotifyImprovesGoodput) {
+  const auto timeout =
+      run_collision_sim(MacKind::kTimeout, base_params(6));
+  const auto notify =
+      run_collision_sim(MacKind::kCollisionNotify, base_params(6));
+  EXPECT_GT(notify.goodput_slots_fraction(),
+            timeout.goodput_slots_fraction());
+}
+
+TEST(Collision, WasteGrowsWithContention) {
+  const auto few = run_collision_sim(MacKind::kTimeout, base_params(2));
+  const auto many = run_collision_sim(MacKind::kTimeout, base_params(10));
+  EXPECT_GT(many.wasted_airtime_fraction(), few.wasted_airtime_fraction());
+}
+
+TEST(Collision, DeterministicForSeed) {
+  const auto a = run_collision_sim(MacKind::kCollisionNotify, base_params(4));
+  const auto b = run_collision_sim(MacKind::kCollisionNotify, base_params(4));
+  EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.wasted_slots, b.wasted_slots);
+}
+
+TEST(Collision, StatsInternallyConsistent) {
+  const auto stats =
+      run_collision_sim(MacKind::kCollisionNotify, base_params(4));
+  EXPECT_EQ(stats.slots_simulated, 100000u);
+  EXPECT_LE(stats.useful_slots, stats.slots_simulated);
+  EXPECT_LE(stats.wasted_airtime_fraction(), 1.0);
+  EXPECT_GE(stats.mean_delivery_latency(),
+            static_cast<double>(base_params(4).frame_blocks));
+}
+
+TEST(Collision, FasterNotificationHelps) {
+  auto slow = base_params(6);
+  slow.notify_delay_slots = 16;
+  auto fast = base_params(6);
+  fast.notify_delay_slots = 1;
+  const auto slow_stats = run_collision_sim(MacKind::kCollisionNotify, slow);
+  const auto fast_stats = run_collision_sim(MacKind::kCollisionNotify, fast);
+  EXPECT_LE(fast_stats.wasted_airtime_fraction(),
+            slow_stats.wasted_airtime_fraction() + 0.01);
+}
+
+}  // namespace
+}  // namespace fdb::mac

@@ -1,0 +1,118 @@
+#include "phy/framer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fdb::phy {
+namespace {
+
+std::vector<std::uint8_t> random_payload(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> payload(n);
+  for (auto& byte : payload) {
+    byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+  }
+  return payload;
+}
+
+TEST(Framer, RoundTrip) {
+  Rng rng(3);
+  for (const std::size_t n : {0ul, 1ul, 17ul, 255ul}) {
+    const auto payload = random_payload(rng, n);
+    const auto bits = frame_to_bits(payload);
+    EXPECT_EQ(bits.size(), frame_bits_for_payload(n));
+    const auto result = deframe_bits(bits);
+    EXPECT_EQ(result.status, Status::kOk) << "payload size " << n;
+    EXPECT_EQ(result.payload, payload);
+    EXPECT_TRUE(result.header_ok);
+    EXPECT_EQ(result.bits_consumed, bits.size());
+  }
+}
+
+TEST(Framer, PayloadBitFlipCaughtByBodyCrc) {
+  Rng rng(5);
+  const auto payload = random_payload(rng, 32);
+  auto bits = frame_to_bits(payload);
+  bits[16 + 5] ^= 1;  // flip a payload bit
+  const auto result = deframe_bits(bits);
+  EXPECT_EQ(result.status, Status::kCrcMismatch);
+  EXPECT_TRUE(result.header_ok);  // header intact -> length known
+}
+
+TEST(Framer, HeaderBitFlipCaughtByHeaderCrc) {
+  Rng rng(7);
+  const auto payload = random_payload(rng, 32);
+  auto bits = frame_to_bits(payload);
+  bits[3] ^= 1;  // flip a length bit
+  const auto result = deframe_bits(bits);
+  EXPECT_EQ(result.status, Status::kCrcMismatch);
+  EXPECT_FALSE(result.header_ok);
+}
+
+TEST(Framer, TruncatedInput) {
+  Rng rng(9);
+  const auto payload = random_payload(rng, 32);
+  auto bits = frame_to_bits(payload);
+  bits.resize(bits.size() / 2);
+  const auto result = deframe_bits(bits);
+  EXPECT_EQ(result.status, Status::kTruncated);
+}
+
+TEST(Framer, TooShortForHeader) {
+  const std::vector<std::uint8_t> bits(10, 0);
+  EXPECT_EQ(deframe_bits(bits).status, Status::kTruncated);
+}
+
+TEST(Blocks, RoundTripAllBlocksOk) {
+  Rng rng(11);
+  const auto payload = random_payload(rng, 64);
+  const auto bits = blocks_to_bits(payload, 8);
+  EXPECT_EQ(bits.size(), block_bits_for_payload(64, 8));
+  const auto result = decode_blocks(bits, 64, 8);
+  EXPECT_EQ(result.blocks_failed, 0u);
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_EQ(result.block_ok.size(), 8u);
+}
+
+TEST(Blocks, TailBlockShorter) {
+  Rng rng(13);
+  const auto payload = random_payload(rng, 20);  // 8+8+4
+  const auto bits = blocks_to_bits(payload, 8);
+  const auto result = decode_blocks(bits, 20, 8);
+  EXPECT_EQ(result.blocks_failed, 0u);
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_EQ(result.block_ok.size(), 3u);
+}
+
+TEST(Blocks, CorruptionLocalisedToOneBlock) {
+  Rng rng(15);
+  const auto payload = random_payload(rng, 64);
+  auto bits = blocks_to_bits(payload, 8);
+  // Flip a bit inside block 3 (each block is 72 bits on air).
+  bits[3 * 72 + 10] ^= 1;
+  const auto result = decode_blocks(bits, 64, 8);
+  EXPECT_EQ(result.blocks_failed, 1u);
+  ASSERT_EQ(result.block_ok.size(), 8u);
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(result.block_ok[b], b != 3) << "block " << b;
+  }
+}
+
+TEST(Blocks, TruncatedTailMarksRemainingFailed) {
+  Rng rng(17);
+  const auto payload = random_payload(rng, 32);
+  auto bits = blocks_to_bits(payload, 8);
+  bits.resize(bits.size() - 80);  // lose more than the last block
+  const auto result = decode_blocks(bits, 32, 8);
+  EXPECT_GE(result.blocks_failed, 1u);
+  EXPECT_EQ(result.payload.size(), 32u);  // placeholder bytes filled
+}
+
+TEST(Blocks, BitsForPayloadFormula) {
+  EXPECT_EQ(block_bits_for_payload(16, 8), 2u * 72u);
+  EXPECT_EQ(block_bits_for_payload(17, 8), 2u * 72u + 16u);
+  EXPECT_EQ(block_bits_for_payload(0, 8), 0u);
+}
+
+}  // namespace
+}  // namespace fdb::phy

@@ -1,0 +1,120 @@
+#include "phy/line_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fdb::phy {
+namespace {
+
+class LineCodeRoundTrip : public ::testing::TestWithParam<LineCode> {};
+
+TEST_P(LineCodeRoundTrip, RandomBitsSurvive) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> bits(1 + rng.uniform_int(200));
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const auto chips = encode(GetParam(), bits);
+    EXPECT_EQ(chips.size(), bits.size() * 2);
+    const auto decoded = decode(GetParam(), chips);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, bits);
+  }
+}
+
+TEST_P(LineCodeRoundTrip, EmptyInput) {
+  const auto chips = encode(GetParam(), {});
+  EXPECT_TRUE(chips.empty());
+  const auto decoded = decode(GetParam(), chips);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST_P(LineCodeRoundTrip, OddChipCountRejected) {
+  const std::vector<std::uint8_t> chips = {1, 0, 1};
+  EXPECT_FALSE(decode(GetParam(), chips).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, LineCodeRoundTrip,
+                         ::testing::Values(LineCode::kFm0,
+                                           LineCode::kManchester,
+                                           LineCode::kMiller2,
+                                           LineCode::kNrz),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Fm0, DcBalancedOverAnyBitPattern) {
+  // The full-duplex feedback decoder depends on this invariant: every
+  // FM0 bit contributes exactly one high chip and one low chip OR two
+  // chips whose sum over consecutive bit pairs balances. Check that over
+  // whole bits the chip average is pattern-independent to within one
+  // chip.
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> bits(64);
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const auto chips = encode(LineCode::kFm0, bits);
+    int sum = 0;
+    for (const auto c : chips) sum += c ? 1 : -1;
+    // FM0 guarantees |running disparity| <= 2 chips over any window.
+    EXPECT_LE(std::abs(sum), 2);
+  }
+}
+
+TEST(Fm0, BoundaryTransitionInvariant) {
+  // The encoded level always flips between the last chip of bit i and
+  // the first chip of bit i+1.
+  const std::vector<std::uint8_t> bits = {1, 1, 0, 0, 1, 0, 1};
+  const auto chips = encode(LineCode::kFm0, bits);
+  for (std::size_t b = 1; b < bits.size(); ++b) {
+    EXPECT_NE(chips[2 * b - 1], chips[2 * b]) << "boundary " << b;
+  }
+}
+
+TEST(Fm0, KnownWaveform) {
+  // Starting level 1: first boundary inverts to 0.
+  // bit '1': hold -> chips 0,0.  bit '0': mid-flip -> chips 1,0.
+  const auto chips = encode(LineCode::kFm0, std::vector<std::uint8_t>{1, 0});
+  const std::vector<std::uint8_t> expected = {0, 0, 1, 0};
+  EXPECT_EQ(chips, expected);
+}
+
+TEST(Manchester, AlwaysTransitionsMidBit) {
+  Rng rng(29);
+  std::vector<std::uint8_t> bits(128);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const auto chips = encode(LineCode::kManchester, bits);
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    EXPECT_NE(chips[2 * b], chips[2 * b + 1]);
+  }
+}
+
+TEST(Manchester, InvalidSymbolDetected) {
+  const std::vector<std::uint8_t> chips = {1, 1};  // no mid transition
+  EXPECT_FALSE(decode(LineCode::kManchester, chips).has_value());
+}
+
+TEST(Fm0Soft, AgreesWithHardDecisionsWhenConfident) {
+  Rng rng(31);
+  std::vector<std::uint8_t> bits(64);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const auto chips = encode(LineCode::kFm0, bits);
+  std::vector<float> probs;
+  for (const auto c : chips) probs.push_back(c ? 0.95f : 0.05f);
+  const auto soft = decode_fm0_soft(probs);
+  const auto hard = decode(LineCode::kFm0, chips);
+  ASSERT_TRUE(hard.has_value());
+  EXPECT_EQ(soft, *hard);
+}
+
+TEST(Fm0Soft, ResolvesWeakChipByReliability) {
+  // Bit with chips (0.9, 0.52): "equal" hypothesis more likely -> 1.
+  const std::vector<float> probs = {0.9f, 0.52f};
+  const auto bits = decode_fm0_soft(probs);
+  ASSERT_EQ(bits.size(), 1u);
+  EXPECT_EQ(bits[0], 1);
+}
+
+}  // namespace
+}  // namespace fdb::phy

@@ -1,0 +1,63 @@
+#include "phy/preamble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb::phy {
+namespace {
+
+TEST(Preamble, Barker13Autocorrelation) {
+  // Barker codes: off-peak aperiodic autocorrelation magnitude <= 1.
+  const auto pattern = chips_to_pattern(barker13_chips());
+  const int n = static_cast<int>(pattern.size());
+  for (int shift = 1; shift < n; ++shift) {
+    double corr = 0.0;
+    for (int i = 0; i + shift < n; ++i) {
+      corr += pattern[i] * pattern[i + shift];
+    }
+    EXPECT_LE(std::abs(corr), 1.0 + 1e-9) << "shift " << shift;
+  }
+}
+
+TEST(Preamble, Barker11Autocorrelation) {
+  const auto pattern = chips_to_pattern(barker11_chips());
+  const int n = static_cast<int>(pattern.size());
+  for (int shift = 1; shift < n; ++shift) {
+    double corr = 0.0;
+    for (int i = 0; i + shift < n; ++i) {
+      corr += pattern[i] * pattern[i + shift];
+    }
+    EXPECT_LE(std::abs(corr), 1.0 + 1e-9);
+  }
+}
+
+TEST(Preamble, PatternMapsChipsToSigns) {
+  const std::vector<std::uint8_t> chips = {1, 0, 1};
+  const auto pattern = chips_to_pattern(chips);
+  const std::vector<float> expected = {1.0f, -1.0f, 1.0f};
+  EXPECT_EQ(pattern, expected);
+}
+
+TEST(Preamble, DefaultPreambleLengthConsistent) {
+  EXPECT_EQ(default_preamble_chips().size(), default_preamble_length());
+}
+
+TEST(Preamble, DefaultPreambleStartsAlternating) {
+  const auto chips = default_preamble_chips();
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    EXPECT_NE(chips[i], chips[i + 1]);
+  }
+}
+
+TEST(Preamble, DefaultPreambleEndsWithBarker13) {
+  const auto chips = default_preamble_chips();
+  const auto barker = barker13_chips();
+  ASSERT_GE(chips.size(), barker.size());
+  for (std::size_t i = 0; i < barker.size(); ++i) {
+    EXPECT_EQ(chips[chips.size() - barker.size() + i], barker[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fdb::phy

@@ -1,0 +1,131 @@
+#include "phy/slicer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fdb::phy {
+namespace {
+
+TEST(IntegrateAndDump, AveragesChips) {
+  IntegrateAndDump integrator(4);
+  std::vector<float> chips;
+  const std::vector<float> samples = {1, 1, 1, 1, 3, 3, 3, 3};
+  integrator.process(samples, chips);
+  ASSERT_EQ(chips.size(), 2u);
+  EXPECT_FLOAT_EQ(chips[0], 1.0f);
+  EXPECT_FLOAT_EQ(chips[1], 3.0f);
+}
+
+TEST(IntegrateAndDump, PartialChipHeldAcrossCalls) {
+  IntegrateAndDump integrator(4);
+  std::vector<float> chips;
+  integrator.process(std::vector<float>{2, 2}, chips);
+  EXPECT_TRUE(chips.empty());
+  integrator.process(std::vector<float>{2, 2}, chips);
+  ASSERT_EQ(chips.size(), 1u);
+  EXPECT_FLOAT_EQ(chips[0], 2.0f);
+}
+
+TEST(IntegrateAndDump, ResetDropsPartial) {
+  IntegrateAndDump integrator(4);
+  std::vector<float> chips;
+  integrator.process(std::vector<float>{100, 100, 100}, chips);
+  integrator.reset();
+  integrator.process(std::vector<float>{1, 1, 1, 1}, chips);
+  ASSERT_EQ(chips.size(), 1u);
+  EXPECT_FLOAT_EQ(chips[0], 1.0f);
+}
+
+TEST(AdaptiveSlicer, SeparatesTwoLevels) {
+  AdaptiveSlicer slicer({.window_chips = 8});
+  // Alternate levels so the window sees both.
+  std::vector<std::uint8_t> decisions;
+  for (int i = 0; i < 32; ++i) {
+    decisions.push_back(slicer.decide(i % 2 ? 1.0f : 0.2f));
+  }
+  // Once warmed up, odd samples -> 1, even -> 0.
+  for (int i = 8; i < 32; ++i) {
+    EXPECT_EQ(decisions[static_cast<std::size_t>(i)], i % 2);
+  }
+}
+
+TEST(AdaptiveSlicer, TracksDriftingBaseline) {
+  AdaptiveSlicer slicer({.window_chips = 8});
+  // Levels drift upward together; slicer threshold must follow.
+  int errors = 0;
+  for (int i = 0; i < 200; ++i) {
+    const float base = 1.0f + 0.01f * static_cast<float>(i);
+    const bool bit = i % 2 == 1;
+    const float level = bit ? base + 0.5f : base;
+    const auto d = slicer.decide(level);
+    if (i > 16 && d != (bit ? 1 : 0)) ++errors;
+  }
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(AdaptiveSlicer, SoftValueOrdering) {
+  AdaptiveSlicer slicer({.window_chips = 4});
+  slicer.decide(0.0f);
+  slicer.decide(1.0f);
+  slicer.decide(0.0f);
+  slicer.decide(1.0f);
+  slicer.decide(1.0f);
+  const float high_soft = slicer.last_soft();
+  slicer.decide(0.0f);
+  const float low_soft = slicer.last_soft();
+  EXPECT_GT(high_soft, 0.5f);
+  EXPECT_LT(low_soft, 0.5f);
+}
+
+TEST(AdaptiveSlicer, HysteresisResistsNoiseNearThreshold) {
+  AdaptiveSlicer with_hyst({.window_chips = 8, .hysteresis = 0.15f});
+  AdaptiveSlicer without({.window_chips = 8, .hysteresis = 0.0f});
+  Rng rng(41);
+  // Signal sits just below midpoint with noise; hysteresis should hold
+  // the previous decision more often (fewer toggles).
+  auto count_toggles = [&](AdaptiveSlicer& slicer) {
+    Rng local(99);
+    // Prime with both levels.
+    for (int i = 0; i < 8; ++i) slicer.decide(i % 2 ? 1.0f : 0.0f);
+    int toggles = 0;
+    std::uint8_t prev = slicer.decide(0.45f);
+    for (int i = 0; i < 300; ++i) {
+      const float x = 0.5f + static_cast<float>(local.normal(0.0, 0.02));
+      const auto d = slicer.decide(x);
+      if (d != prev) ++toggles;
+      prev = d;
+    }
+    return toggles;
+  };
+  EXPECT_LT(count_toggles(with_hyst), count_toggles(without));
+  (void)rng;
+}
+
+TEST(AdaptiveSlicer, ProcessBatchMatchesSingle) {
+  AdaptiveSlicer a({.window_chips = 8}), b({.window_chips = 8});
+  std::vector<float> chips;
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    chips.push_back(rng.chance(0.5) ? 1.0f : 0.0f);
+  }
+  std::vector<std::uint8_t> batch;
+  a.process(chips, batch);
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    EXPECT_EQ(b.decide(chips[i]), batch[i]);
+  }
+}
+
+TEST(AdaptiveSlicer, ResetForgetsHistory) {
+  AdaptiveSlicer slicer({.window_chips = 4});
+  for (int i = 0; i < 10; ++i) slicer.decide(100.0f);
+  slicer.reset();
+  // Fresh history: a mid-scale value after two new levels slices fine.
+  slicer.decide(0.0f);
+  slicer.decide(1.0f);
+  EXPECT_EQ(slicer.decide(0.9f), 1);
+  EXPECT_EQ(slicer.decide(0.1f), 0);
+}
+
+}  // namespace
+}  // namespace fdb::phy

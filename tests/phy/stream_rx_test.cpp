@@ -1,0 +1,181 @@
+#include "phy/stream_rx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fdb::phy {
+namespace {
+
+ModemConfig small_config() {
+  ModemConfig config;
+  config.rates.samples_per_chip = 8;
+  config.rates.asymmetry = 8;
+  return config;
+}
+
+std::vector<float> frame_waveform(const BackscatterTx& tx,
+                                  std::span<const std::uint8_t> payload,
+                                  float low, float high) {
+  std::vector<float> env;
+  for (const auto s : tx.modulate_frame(payload)) {
+    env.push_back(s ? high : low);
+  }
+  return env;
+}
+
+TEST(StreamingReceiver, DecodesSingleFrameMidStream) {
+  const auto config = small_config();
+  BackscatterTx tx(config);
+  Rng rng(3);
+  std::vector<std::uint8_t> payload(20);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+
+  std::vector<StreamFrame> frames;
+  StreamingReceiver receiver(config,
+                             [&](const StreamFrame& f) { frames.push_back(f); });
+
+  std::vector<float> stream(3000, 1.0f);
+  const auto burst = frame_waveform(tx, payload, 1.0f, 1.4f);
+  stream.insert(stream.end(), burst.begin(), burst.end());
+  stream.insert(stream.end(), 3000, 1.0f);
+
+  receiver.process(stream);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].status, Status::kOk);
+  EXPECT_EQ(frames[0].payload, payload);
+}
+
+TEST(StreamingReceiver, DecodesMultipleFramesBackToBack) {
+  const auto config = small_config();
+  BackscatterTx tx(config);
+  Rng rng(5);
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<float> stream(500, 1.0f);
+  for (int f = 0; f < 5; ++f) {
+    std::vector<std::uint8_t> payload(8 + f * 4);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    payloads.push_back(payload);
+    const auto burst = frame_waveform(tx, payload, 1.0f, 1.5f);
+    stream.insert(stream.end(), burst.begin(), burst.end());
+    stream.insert(stream.end(), 800, 1.0f);  // inter-frame gap
+  }
+
+  std::vector<StreamFrame> frames;
+  StreamingReceiver receiver(config,
+                             [&](const StreamFrame& f) { frames.push_back(f); });
+  receiver.process(stream);
+
+  ASSERT_EQ(frames.size(), payloads.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_EQ(frames[f].status, Status::kOk) << "frame " << f;
+    EXPECT_EQ(frames[f].payload, payloads[f]) << "frame " << f;
+  }
+  // Frames reported in stream order.
+  for (std::size_t f = 1; f < frames.size(); ++f) {
+    EXPECT_GT(frames[f].start_sample, frames[f - 1].start_sample);
+  }
+}
+
+TEST(StreamingReceiver, ChunkedDeliveryMatchesWholeStream) {
+  const auto config = small_config();
+  BackscatterTx tx(config);
+  const std::vector<std::uint8_t> payload(16, 0x3C);
+
+  std::vector<float> stream(1000, 1.0f);
+  const auto burst = frame_waveform(tx, payload, 1.0f, 1.3f);
+  stream.insert(stream.end(), burst.begin(), burst.end());
+  stream.insert(stream.end(), 1000, 1.0f);
+
+  std::vector<StreamFrame> frames;
+  StreamingReceiver receiver(config,
+                             [&](const StreamFrame& f) { frames.push_back(f); });
+  // Feed in awkward chunk sizes.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 7, 64, 501, 3, 1000000};
+  std::size_t c = 0;
+  while (pos < stream.size()) {
+    const std::size_t n = std::min(chunks[c % 6], stream.size() - pos);
+    receiver.process(std::span<const float>(stream.data() + pos, n));
+    pos += n;
+    ++c;
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload);
+}
+
+TEST(StreamingReceiver, PureNoiseProducesNoFrames) {
+  const auto config = small_config();
+  Rng rng(7);
+  std::vector<float> stream(20000);
+  for (auto& s : stream) {
+    s = 1.0f + 0.005f * static_cast<float>(rng.normal());
+  }
+  std::size_t frames = 0;
+  StreamingReceiver receiver(config, [&](const StreamFrame&) { ++frames; });
+  receiver.process(stream);
+  EXPECT_EQ(frames, 0u);
+}
+
+TEST(StreamingReceiver, InvertedPolarityFrameDecodes) {
+  const auto config = small_config();
+  BackscatterTx tx(config);
+  const std::vector<std::uint8_t> payload(12, 0x77);
+  std::vector<float> stream(1500, 1.5f);
+  const auto burst = frame_waveform(tx, payload, 1.5f, 1.1f);  // darkens
+  stream.insert(stream.end(), burst.begin(), burst.end());
+  stream.insert(stream.end(), 1500, 1.5f);
+
+  std::vector<StreamFrame> frames;
+  StreamingReceiver receiver(config,
+                             [&](const StreamFrame& f) { frames.push_back(f); });
+  receiver.process(stream);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].status, Status::kOk);
+  EXPECT_EQ(frames[0].payload, payload);
+}
+
+TEST(StreamingReceiver, ResetClearsPosition) {
+  const auto config = small_config();
+  StreamingReceiver receiver(config, [](const StreamFrame&) {});
+  std::vector<float> noise(1000, 1.0f);
+  receiver.process(noise);
+  EXPECT_EQ(receiver.samples_processed(), 1000u);
+  receiver.reset();
+  EXPECT_EQ(receiver.samples_processed(), 0u);
+}
+
+TEST(StreamingReceiver, TruncatedFrameDoesNotWedgeTheReceiver) {
+  // A burst cut off mid-body must not stall the state machine: a later
+  // complete frame still decodes.
+  const auto config = small_config();
+  BackscatterTx tx(config);
+  const std::vector<std::uint8_t> payload(32, 0xAB);
+  auto burst = frame_waveform(tx, payload, 1.0f, 1.4f);
+  burst.resize(burst.size() / 2);  // chop mid-frame
+
+  std::vector<float> stream(500, 1.0f);
+  stream.insert(stream.end(), burst.begin(), burst.end());
+  stream.insert(stream.end(), 4000, 1.0f);  // silence (body never comes)
+  const auto good = frame_waveform(tx, payload, 1.0f, 1.4f);
+  stream.insert(stream.end(), good.begin(), good.end());
+  stream.insert(stream.end(), 2000, 1.0f);
+
+  std::vector<StreamFrame> frames;
+  StreamingReceiver receiver(config,
+                             [&](const StreamFrame& f) { frames.push_back(f); });
+  receiver.process(stream);
+  // The good frame must come through; the chopped one may surface as a
+  // CRC failure or be dropped at the header stage.
+  bool good_seen = false;
+  for (const auto& f : frames) {
+    if (f.status == Status::kOk && f.payload == payload) good_seen = true;
+  }
+  EXPECT_TRUE(good_seen);
+}
+
+}  // namespace
+}  // namespace fdb::phy

@@ -1,0 +1,83 @@
+#include "sim/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdb::sim {
+namespace {
+
+LinkSimConfig base_config() {
+  LinkSimConfig config;
+  config.modem = core::FdModemConfig::make(4, 6);
+  config.carrier = "cw";
+  config.fading = "static";
+  return config;
+}
+
+TEST(LinkBudget, SwingShrinksWithBackscatterDistance) {
+  auto near = base_config();
+  auto far = base_config();
+  far.a_to_b_m = 4.0;
+  EXPECT_GT(compute_link_budget(near).delta_env_at_b,
+            compute_link_budget(far).delta_env_at_b);
+}
+
+TEST(LinkBudget, SwingGrowsWithReflectivity) {
+  auto low = base_config();
+  low.reflection_rho = 0.1;
+  auto high = base_config();
+  high.reflection_rho = 0.9;
+  EXPECT_GT(compute_link_budget(high).delta_env_at_b,
+            compute_link_budget(low).delta_env_at_b);
+}
+
+TEST(LinkBudget, PredictedBerOrdering) {
+  // The feedback stream averages far longer than a chip: its predicted
+  // BER is never worse at equal swing.
+  auto config = base_config();
+  config.noise_power_override_w = 1e-9;
+  const auto budget = compute_link_budget(config);
+  EXPECT_LE(budget.predicted_feedback_ber, budget.predicted_data_ber + 1e-12);
+}
+
+TEST(LinkBudget, SimulationBeatsOrMatchesPrediction) {
+  // The analytic model ignores the RC pre-filter, which only *removes*
+  // noise: measured BER must not exceed the prediction by more than
+  // Monte-Carlo slack, and should be nonzero at this operating point.
+  auto config = base_config();
+  config.noise_power_override_w = 8e-9;
+  const auto budget = compute_link_budget(config);
+  ASSERT_GT(budget.predicted_data_ber, 1e-4);
+  ASSERT_LT(budget.predicted_data_ber, 0.4);
+
+  LinkSimulator sim(config);
+  sim.set_payload_bytes(16);
+  const auto summary = sim.run(20);
+  // Conditioned on correct acquisition (what the model predicts), the
+  // measured BER must stay within small-multiple agreement; the model
+  // ignores slicer threshold jitter, hence the factor.
+  EXPECT_LT(summary.aligned_data_ber(),
+            budget.predicted_data_ber * 4.0 + 0.02);
+  EXPECT_GT(summary.data_aligned.trials(), 0u);
+}
+
+TEST(LinkBudget, HarvestRatePositiveAndScalesWithPower) {
+  auto low = base_config();
+  auto high = base_config();
+  high.tx_power_w = 10.0;
+  const auto b_low = compute_link_budget(low);
+  const auto b_high = compute_link_budget(high);
+  EXPECT_GE(b_high.harvested_per_second_j, b_low.harvested_per_second_j);
+  EXPECT_GT(b_high.incident_at_b_w, b_low.incident_at_b_w);
+}
+
+TEST(LinkBudget, FeedbackInactiveHarvestsMore) {
+  auto on = base_config();
+  auto off = base_config();
+  off.feedback_active = false;
+  // When B never reflects it absorbs everything.
+  EXPECT_GE(compute_link_budget(off).harvested_per_second_j,
+            compute_link_budget(on).harvested_per_second_j);
+}
+
+}  // namespace
+}  // namespace fdb::sim

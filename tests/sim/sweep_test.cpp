@@ -1,0 +1,37 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdb::sim {
+namespace {
+
+TEST(Sweep, LogspaceEndpointsAndMonotone) {
+  const auto v = logspace(1e-4, 1e-1, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v.front(), 1e-4, 1e-12);
+  EXPECT_NEAR(v.back(), 1e-1, 1e-9);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+  // Log spacing: constant ratio.
+  EXPECT_NEAR(v[1] / v[0], v[2] / v[1], 1e-9);
+}
+
+TEST(Sweep, LinspaceEndpointsAndStep) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+}
+
+TEST(Sweep, SweepBuildsTable) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const auto table = sweep<double>(
+      {"x", "x_squared"}, xs,
+      [](const double& x) { return std::vector<double>{x, x * x}; });
+  EXPECT_EQ(table.rows(), 3u);
+  EXPECT_NE(table.render().find("x_squared"), std::string::npos);
+  EXPECT_NE(table.render().find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdb::sim

@@ -1,0 +1,80 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdb {
+namespace {
+
+TEST(Bits, BytesToBitsMsbFirst) {
+  const std::vector<std::uint8_t> bytes = {0xA5};  // 1010 0101
+  const auto bits = bytes_to_bits(bytes);
+  const std::vector<std::uint8_t> expected = {1, 0, 1, 0, 0, 1, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(Bits, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0x3C, 0x81};
+  EXPECT_EQ(bits_to_bytes(bytes_to_bits(bytes)), bytes);
+}
+
+TEST(Bits, PartialByteZeroPadded) {
+  const std::vector<std::uint8_t> bits = {1, 1, 1};  // 1110 0000
+  const auto bytes = bits_to_bytes(bits);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xE0);
+}
+
+TEST(Bits, HammingDistance) {
+  const std::vector<std::uint8_t> a = {1, 0, 1, 1, 0};
+  const std::vector<std::uint8_t> b = {1, 1, 1, 0, 0};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+}
+
+TEST(Bits, HammingTreatsNonzeroAsOne) {
+  const std::vector<std::uint8_t> a = {2, 0};
+  const std::vector<std::uint8_t> b = {1, 0};
+  EXPECT_EQ(hamming_distance(a, b), 0u);
+}
+
+TEST(Bits, AppendAndReadBits) {
+  std::vector<std::uint8_t> bits;
+  append_bits(bits, 0xAB, 8);
+  append_bits(bits, 0x3, 2);
+  ASSERT_EQ(bits.size(), 10u);
+  EXPECT_EQ(read_bits(bits, 0, 8), 0xABu);
+  EXPECT_EQ(read_bits(bits, 8, 2), 0x3u);
+}
+
+TEST(Bits, ReadBitsMidStream) {
+  std::vector<std::uint8_t> bits;
+  append_bits(bits, 0xDEAD, 16);
+  EXPECT_EQ(read_bits(bits, 4, 8), 0xEAu);
+}
+
+TEST(Lfsr16, MaximalLengthPeriod) {
+  Lfsr16 lfsr(0x1);
+  // The taps give a maximal-length sequence: no all-zero lock-up and a
+  // long period. Check the first 65535 bits contain both values.
+  std::size_t ones = 0;
+  const std::size_t n = 65535;
+  for (std::size_t i = 0; i < n; ++i) ones += lfsr.next_bit();
+  // Balanced to within a percent.
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+TEST(Lfsr16, ZeroSeedIsRemapped) {
+  Lfsr16 lfsr(0);
+  // Must not be stuck emitting zeros.
+  int ones = 0;
+  for (int i = 0; i < 64; ++i) ones += lfsr.next_bit();
+  EXPECT_GT(ones, 0);
+}
+
+TEST(Lfsr16, NextBitsLength) {
+  Lfsr16 lfsr;
+  EXPECT_EQ(lfsr.next_bits(100).size(), 100u);
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,59 @@
+#include "util/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace fdb {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc, Crc16CheckValue) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1 (standard check value).
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc16(data), 0x29B1);
+}
+
+TEST(Crc, Crc32CheckValue) {
+  // CRC-32/IEEE("123456789") = 0xCBF43926.
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc, Crc8CheckValue) {
+  // CRC-8/ATM ("123456789") = 0xF4.
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc8(data), 0xF4);
+}
+
+TEST(Crc, EmptyInput) {
+  EXPECT_EQ(crc8({}), 0x00);
+  EXPECT_EQ(crc16({}), 0xFFFF);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc, SingleBitFlipDetected) {
+  auto data = bytes_of("full duplex backscatter");
+  const auto original16 = crc16(data);
+  const auto original32 = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16(data), original16) << "byte " << byte << " bit " << bit;
+      EXPECT_NE(crc32(data), original32) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc, DifferentMessagesDiffer) {
+  EXPECT_NE(crc16(bytes_of("block-0")), crc16(bytes_of("block-1")));
+  EXPECT_NE(crc8(bytes_of("a")), crc8(bytes_of("b")));
+}
+
+}  // namespace
+}  // namespace fdb

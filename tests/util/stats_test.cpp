@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fdb {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  Rng rng(5);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(6);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(ErrorRateCounter, RateAndBounds) {
+  ErrorRateCounter counter;
+  for (int i = 0; i < 100; ++i) counter.add(i < 10);
+  EXPECT_DOUBLE_EQ(counter.rate(), 0.1);
+  EXPECT_LT(counter.wilson_lower(), 0.1);
+  EXPECT_GT(counter.wilson_upper(), 0.1);
+  EXPECT_GE(counter.wilson_lower(), 0.0);
+  EXPECT_LE(counter.wilson_upper(), 1.0);
+}
+
+TEST(ErrorRateCounter, ZeroErrorsHasInformativeUpperBound) {
+  ErrorRateCounter counter;
+  counter.add(0, 1000);
+  EXPECT_DOUBLE_EQ(counter.rate(), 0.0);
+  EXPECT_DOUBLE_EQ(counter.wilson_lower(), 0.0);
+  EXPECT_GT(counter.wilson_upper(), 0.0);
+  EXPECT_LT(counter.wilson_upper(), 0.01);
+}
+
+TEST(ErrorRateCounter, BulkAdd) {
+  ErrorRateCounter counter;
+  counter.add(5, 50);
+  counter.add(5, 50);
+  EXPECT_EQ(counter.errors(), 10u);
+  EXPECT_EQ(counter.trials(), 100u);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(8);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+}  // namespace
+}  // namespace fdb
