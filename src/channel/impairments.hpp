@@ -1,4 +1,10 @@
-// Additive noise and oscillator impairments.
+// Additive noise and oscillator impairments — the non-geometric part of
+// the channel. AWGN sets the noise floor that the link budget's kTB*NF
+// computation predicts, and the CFO rotator models the residual between
+// the ambient transmitter's carrier and the receiver's sampling clock
+// (the tags themselves have no oscillator to be wrong). Both matter to
+// the paper's receivers because envelope detection folds any rotation
+// into amplitude statistics that the slicer must then track.
 #pragma once
 
 #include <span>

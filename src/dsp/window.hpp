@@ -1,4 +1,8 @@
-// Window functions for FIR design and spectral analysis.
+// Window functions for FIR design and spectral analysis. Used by the
+// windowed-sinc designer in dsp/fir.hpp (filters for the receive chain)
+// and available for tapering FFT frames of the ambient carrier.
+// Symmetric (filter-design) form; the standard shapes a backscatter
+// receiver plausibly needs, nothing exotic.
 #pragma once
 
 #include <cmath>

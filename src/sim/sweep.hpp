@@ -1,4 +1,9 @@
-// Parameter-sweep scaffolding shared by the bench binaries.
+// Parameter-sweep scaffolding shared by the bench binaries. Every
+// experiment (bench/e*.cpp) has the same shape — vary one knob
+// (distance, asymmetry k, channel BER, frame size), run the link
+// simulator at each point, print one table row — so the sweep helper
+// plus log/lin spacing keeps each bench main declarative: build the
+// axis, map it through a row function, print the Table.
 #pragma once
 
 #include <functional>

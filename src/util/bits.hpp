@@ -1,4 +1,9 @@
-// Bit-level helpers: the PHY works in bits while payloads live in bytes.
+// Bit-level helpers: the PHY works in bits while payloads live in
+// bytes. MSB-first is the on-air order everywhere (framer, CRC,
+// feedback words), so the pack/unpack pair here is the single place
+// that convention is encoded. Hamming distance is the BER counter's
+// primitive; append/read_bits build and parse the header fields of
+// phy/framer.hpp without a bit-stream class.
 #pragma once
 
 #include <cstdint>

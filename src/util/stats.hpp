@@ -1,4 +1,10 @@
-// Streaming statistics used by the Monte-Carlo harnesses.
+// Streaming statistics used by the Monte-Carlo harnesses. The benches
+// run long trials and print mean ± CI columns, so everything here is
+// single-pass and mergeable: Welford mean/variance (RunningStats), a
+// binomial error-rate counter with confidence bounds for BER columns
+// (ErrorRateCounter), and a fixed-bin histogram for latency quantiles.
+// merge() exists so sharded/parallel trial runners can combine results
+// without losing numerical stability.
 #pragma once
 
 #include <cstddef>

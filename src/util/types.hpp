@@ -1,4 +1,8 @@
-// Basic shared types for the fdb library.
+// Basic shared types for the fdb library: the complex baseband sample
+// type every layer passes around, the real envelope sample type, and
+// the Status enum used instead of exceptions on decode hot paths
+// (a per-sample receive chain cannot afford unwinding, and "CRC
+// mismatch" or "sync not found" are expected outcomes, not errors).
 #pragma once
 
 #include <complex>
