@@ -6,11 +6,11 @@
 //   C. Manchester feedback -> NRZ
 //   D. FM0 line code -> Manchester / NRZ on the data plane
 //   E. slicer hysteresis on
-#include <cstdio>
 #include <string>
+#include <vector>
 
-#include "sim/link_sim.hpp"
-#include "util/table.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -29,63 +29,67 @@ fdb::sim::LinkSimConfig base_config() {
   return config;
 }
 
-void run_arm(fdb::Table& table, const std::string& name,
-             fdb::sim::LinkSimConfig config) {
-  fdb::sim::LinkSimulator sim(config);
-  sim.set_payload_bytes(16);
-  const auto s = sim.run(50);
-  table.add_row({name, fdb::format_g(s.aligned_data_ber()),
-                 fdb::format_g(s.feedback_ber()),
-                 fdb::format_g(s.sync_failure_rate())});
+void fill_section(fdb::sim::ReportSection& sec,
+                  const std::vector<std::string>& names,
+                  const std::vector<fdb::sim::LinkSimSummary>& summaries,
+                  std::size_t offset) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& s = summaries[offset + i];
+    sec.add_row({names[i], s.aligned_data_ber(), s.feedback_ber(),
+                 s.sync_failure_rate()});
+  }
 }
 
 }  // namespace
 
-int main() {
-  std::puts("E10: design-choice ablations — data plane"
-            " (CW, static, 1.5 m, noise 4e-9 W, feedback active)");
-  fdb::Table table({"arm", "data_ber", "feedback_ber", "sync_fail"});
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/50,
+                                       "trials per ablation arm");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
 
-  run_arm(table, "full design", base_config());
-
+  // Data-plane arms at the main stress point.
+  std::vector<std::string> data_names;
+  std::vector<fdb::sim::Scenario> scenarios;
+  auto add_data_arm = [&](const std::string& name,
+                          fdb::sim::LinkSimConfig config) {
+    data_names.push_back(name);
+    scenarios.push_back({config, cli.trials, 16});
+  };
+  add_data_arm("full design", base_config());
   {
     auto config = base_config();
     config.modem.feedback.average = fdb::core::FeedbackAverage::kWindow;
-    run_arm(table, "no self-gating (B)", config);
+    add_data_arm("no self-gating (B)", config);
   }
   {
     auto config = base_config();
     config.modem.feedback.coding = fdb::core::FeedbackCoding::kNrz;
-    run_arm(table, "NRZ feedback (C)", config);
+    add_data_arm("NRZ feedback (C)", config);
   }
   {
     auto config = base_config();
     config.modem.data.line_code = fdb::phy::LineCode::kManchester;
-    run_arm(table, "Manchester data (D1)", config);
+    add_data_arm("Manchester data (D1)", config);
   }
   {
     auto config = base_config();
     config.modem.data.line_code = fdb::phy::LineCode::kNrz;
-    run_arm(table, "NRZ data (D2)", config);
+    add_data_arm("NRZ data (D2)", config);
   }
   {
     auto config = base_config();
     config.modem.data.slicer.hysteresis = 0.1f;
-    run_arm(table, "slicer hysteresis (E)", config);
+    add_data_arm("slicer hysteresis (E)", config);
   }
   {
     auto config = base_config();
     config.self_coupling = 0.0;  // idealised: no own-reflection at all
-    run_arm(table, "no self-coupling (ideal)", config);
+    add_data_arm("no self-coupling (ideal)", config);
   }
-
-  table.print();
 
   // The feedback plane's ablations need a harsher point (the slow
   // stream's averaging hides them otherwise): push the devices apart
   // and raise the noise, as in E3.
-  std::puts("\nE10b: feedback-plane ablations (2.5 m, noise 2e-8 W)");
-  fdb::Table fb_table({"arm", "data_ber", "feedback_ber", "sync_fail"});
   auto stress = []() {
     auto config = base_config();
     config.modem = fdb::core::FdModemConfig::make(4, 6);
@@ -93,26 +97,46 @@ int main() {
     config.noise_power_override_w = 2e-8;
     return config;
   };
-  run_arm(fb_table, "full design", stress());
+  std::vector<std::string> fb_names;
+  auto add_fb_arm = [&](const std::string& name,
+                        fdb::sim::LinkSimConfig config) {
+    fb_names.push_back(name);
+    scenarios.push_back({config, cli.trials, 16});
+  };
+  add_fb_arm("full design", stress());
   {
     auto config = stress();
     config.modem.feedback.average = fdb::core::FeedbackAverage::kWindow;
-    run_arm(fb_table, "no self-gating (B)", config);
+    add_fb_arm("no self-gating (B)", config);
   }
   {
     auto config = stress();
     config.modem.feedback.coding = fdb::core::FeedbackCoding::kNrz;
-    run_arm(fb_table, "NRZ feedback (C)", config);
+    add_fb_arm("NRZ feedback (C)", config);
   }
-  fb_table.print();
 
-  std::puts("\nShape check: the full design matches the idealised"
-            " no-self-coupling arm on the data plane (normalisation"
-            " works) and keeps the feedback error-free at the stress"
-            " point where plain window averaging collapses; Manchester"
-            " data payloads mimic the alternating preamble and wreck"
-            " acquisition (FM0's boundary structure avoids this); the"
-            " hysteresis knob costs real margin at small swings and"
-            " earns its keep only on bursty envelopes.");
-  return 0;
+  // Both planes run as one batch so all ten arms share the worker pool.
+  const auto summaries = runner.run_batch(scenarios);
+
+  fdb::sim::Report report("e10_ablation");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& data_sec = report.section(
+      "design-choice ablations, data plane"
+      " (CW, static, 1.5 m, noise 4e-9 W, feedback active)",
+      {"arm", "data_ber", "feedback_ber", "sync_fail"});
+  fill_section(data_sec, data_names, summaries, 0);
+  auto& fb_sec = report.section(
+      "feedback-plane ablations (2.5 m, noise 2e-8 W)",
+      {"arm", "data_ber", "feedback_ber", "sync_fail"});
+  fill_section(fb_sec, fb_names, summaries, data_names.size());
+
+  report.add_note("Shape check: the full design matches the idealised"
+                  " no-self-coupling arm on the data plane (normalisation"
+                  " works) and keeps the feedback error-free at the stress"
+                  " point where plain window averaging collapses; Manchester"
+                  " data payloads mimic the alternating preamble and wreck"
+                  " acquisition (FM0's boundary structure avoids this); the"
+                  " hysteresis knob costs real margin at small swings and"
+                  " earns its keep only on bursty envelopes.");
+  return report.emit(cli) ? 0 : 1;
 }

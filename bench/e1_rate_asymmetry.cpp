@@ -5,11 +5,11 @@
 // and measure the data-link BER with the feedback transmitter active vs
 // silent, plus the feedback link's own BER. Paper claim: once k is
 // large, the data BER curves coincide and the feedback stays reliable.
-#include <cstdio>
+#include <vector>
 
 #include "sim/link_budget.hpp"
-#include "sim/link_sim.hpp"
-#include "util/table.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -26,33 +26,39 @@ fdb::sim::LinkSimConfig arm(std::size_t block_bytes, bool feedback) {
 
 }  // namespace
 
-int main() {
-  std::puts("E1: data/feedback BER vs rate asymmetry k "
-            "(CW carrier, static channel, noise 4e-9 W)");
-  fdb::Table table({"block_bytes", "k_bits", "fb_rate_ratio",
-                    "data_ber_fb_on", "data_ber_fb_off", "feedback_ber",
-                    "fb_ber_theory"});
-  const std::size_t trials = 60;
-  for (const std::size_t block_bytes : {1ul, 2ul, 4ul, 8ul, 16ul}) {
-    const auto config_on = arm(block_bytes, true);
-    const auto config_off = arm(block_bytes, false);
-    fdb::sim::LinkSimulator sim_on(config_on);
-    fdb::sim::LinkSimulator sim_off(config_off);
-    sim_on.set_payload_bytes(4 * block_bytes);
-    sim_off.set_payload_bytes(4 * block_bytes);
-    const auto on = sim_on.run(trials);
-    const auto off = sim_off.run(trials);
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/60);
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  const std::vector<std::size_t> block_sizes = {1, 2, 4, 8, 16};
+  // Two arms per sweep point (feedback on, feedback off), flattened into
+  // one batch so every chunk competes for the same workers.
+  std::vector<fdb::sim::Scenario> scenarios;
+  for (const std::size_t block_bytes : block_sizes) {
+    scenarios.push_back({arm(block_bytes, true), cli.trials, 4 * block_bytes});
+    scenarios.push_back({arm(block_bytes, false), cli.trials, 4 * block_bytes});
+  }
+  const auto summaries = runner.run_batch(scenarios);
+
+  fdb::sim::Report report("e1_rate_asymmetry");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "data/feedback BER vs rate asymmetry k"
+      " (CW carrier, static channel, noise 4e-9 W)",
+      {"block_bytes", "k_bits", "fb_rate_ratio", "data_ber_fb_on",
+       "data_ber_fb_off", "feedback_ber", "fb_ber_theory"});
+  for (std::size_t i = 0; i < block_sizes.size(); ++i) {
+    const auto& on = summaries[2 * i];
+    const auto& off = summaries[2 * i + 1];
+    const auto& config_on = scenarios[2 * i].config;
     const auto budget = fdb::sim::compute_link_budget(config_on);
     const auto& rates = config_on.modem.data.rates;
-    table.add_row_numeric({static_cast<double>(block_bytes),
-                           static_cast<double>(rates.asymmetry),
-                           rates.data_rate_bps() / rates.feedback_rate_bps(),
-                           on.aligned_data_ber(), off.aligned_data_ber(),
-                           on.feedback_ber(),
-                           budget.predicted_feedback_ber});
+    sec.add_row({block_sizes[i], rates.asymmetry,
+                 rates.data_rate_bps() / rates.feedback_rate_bps(),
+                 on.aligned_data_ber(), off.aligned_data_ber(),
+                 on.feedback_ber(), budget.predicted_feedback_ber});
   }
-  table.print();
-  std::puts("\nShape check: data_ber_fb_on ~= data_ber_fb_off at every k;"
-            " feedback_ber falls as k grows.");
-  return 0;
+  report.add_note("Shape check: data_ber_fb_on ~= data_ber_fb_off at every"
+                  " k; feedback_ber falls as k grows.");
+  return report.emit(cli) ? 0 : 1;
 }

@@ -2,12 +2,12 @@
 // the analytic link-budget prediction alongside. Also reports the sync
 // (acquisition) failure rate, which limits range before bit decisions
 // do in any envelope-detection receiver.
-#include <cstdio>
+#include <vector>
 
 #include "sim/link_budget.hpp"
-#include "sim/link_sim.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 #include "sim/sweep.hpp"
-#include "util/table.hpp"
 
 namespace {
 
@@ -25,28 +25,35 @@ fdb::sim::LinkSimConfig arm(double distance_m, bool feedback) {
 
 }  // namespace
 
-int main() {
-  std::puts("E2: data BER vs device separation (CW, static, noise 1e-9 W)");
-  fdb::Table table({"distance_m", "ber_fb_on", "ber_fb_off", "ber_theory",
-                    "sync_fail_on", "false_sync_on", "harvest_uJ_frame"});
-  const std::size_t trials = 60;
-  for (const double d : fdb::sim::linspace(0.5, 4.0, 8)) {
-    const auto on_cfg = arm(d, true);
-    fdb::sim::LinkSimulator sim_on(on_cfg);
-    fdb::sim::LinkSimulator sim_off(arm(d, false));
-    sim_on.set_payload_bytes(16);
-    sim_off.set_payload_bytes(16);
-    const auto on = sim_on.run(trials);
-    const auto off = sim_off.run(trials);
-    const auto budget = fdb::sim::compute_link_budget(on_cfg);
-    table.add_row_numeric(
-        {d, on.aligned_data_ber(), off.aligned_data_ber(),
-         budget.predicted_data_ber, on.sync_failure_rate(),
-         static_cast<double>(on.false_syncs),
-         on.harvested_per_frame_j.mean() * 1e6});
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/60);
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  const auto distances = fdb::sim::linspace(0.5, 4.0, 8);
+  std::vector<fdb::sim::Scenario> scenarios;
+  for (const double d : distances) {
+    scenarios.push_back({arm(d, true), cli.trials, 16});
+    scenarios.push_back({arm(d, false), cli.trials, 16});
   }
-  table.print();
-  std::puts("\nShape check: BER rises with distance; fb_on tracks fb_off;"
-            " theory lower-bounds the measurement.");
-  return 0;
+  const auto summaries = runner.run_batch(scenarios);
+
+  fdb::sim::Report report("e2_ber_vs_distance");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "data BER vs device separation (CW, static, noise 1e-9 W)",
+      {"distance_m", "ber_fb_on", "ber_fb_off", "ber_theory", "sync_fail_on",
+       "false_sync_on", "harvest_uJ_frame"});
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const auto& on = summaries[2 * i];
+    const auto& off = summaries[2 * i + 1];
+    const auto budget =
+        fdb::sim::compute_link_budget(scenarios[2 * i].config);
+    sec.add_row({distances[i], on.aligned_data_ber(), off.aligned_data_ber(),
+                 budget.predicted_data_ber, on.sync_failure_rate(),
+                 static_cast<double>(on.false_syncs),
+                 on.harvested_per_frame_j.mean() * 1e6});
+  }
+  report.add_note("Shape check: BER rises with distance; fb_on tracks"
+                  " fb_off; theory lower-bounds the measurement.");
+  return report.emit(cli) ? 0 : 1;
 }

@@ -1,12 +1,12 @@
 // E3 — Reliability of the feedback channel itself: BER of the slow
 // stream vs distance and vs the averaging mode / coding, decoded at the
 // data transmitter *through its own transmission*.
-#include <cstdio>
+#include <vector>
 
 #include "sim/link_budget.hpp"
-#include "sim/link_sim.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 #include "sim/sweep.hpp"
-#include "util/table.hpp"
 
 namespace {
 
@@ -25,37 +25,47 @@ fdb::sim::LinkSimConfig arm(double distance_m,
   return config;
 }
 
-double measure(const fdb::sim::LinkSimConfig& config, std::size_t trials) {
-  fdb::sim::LinkSimulator sim(config);
-  sim.set_payload_bytes(16);
-  return sim.run(trials).feedback_ber();
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using fdb::core::FeedbackAverage;
   using fdb::core::FeedbackCoding;
-  std::puts("E3: feedback BER vs distance, by averaging mode and coding"
-            " (CW, static, noise 2e-8 W)");
-  fdb::Table table({"distance_m", "manch_selfgated", "manch_window",
-                    "nrz_selfgated", "theory_manch"});
-  const std::size_t trials = 50;
-  for (const double d : fdb::sim::linspace(0.5, 3.0, 6)) {
-    const auto base = arm(d, FeedbackAverage::kSelfGated,
-                          FeedbackCoding::kManchester);
-    const auto budget = fdb::sim::compute_link_budget(base);
-    table.add_row_numeric(
-        {d, measure(base, trials),
-         measure(arm(d, FeedbackAverage::kWindow,
-                     FeedbackCoding::kManchester),
-                 trials),
-         measure(arm(d, FeedbackAverage::kSelfGated, FeedbackCoding::kNrz),
-                 trials),
-         budget.predicted_feedback_ber});
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/50);
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  const auto distances = fdb::sim::linspace(0.5, 3.0, 6);
+  // Three decoder arms per distance, flattened into one batch.
+  std::vector<fdb::sim::Scenario> scenarios;
+  for (const double d : distances) {
+    scenarios.push_back(
+        {arm(d, FeedbackAverage::kSelfGated, FeedbackCoding::kManchester),
+         cli.trials, 16});
+    scenarios.push_back(
+        {arm(d, FeedbackAverage::kWindow, FeedbackCoding::kManchester),
+         cli.trials, 16});
+    scenarios.push_back(
+        {arm(d, FeedbackAverage::kSelfGated, FeedbackCoding::kNrz),
+         cli.trials, 16});
   }
-  table.print();
-  std::puts("\nShape check: feedback BER grows with distance; self-gated"
-            " averaging is never worse than plain window averaging.");
-  return 0;
+  const auto summaries = runner.run_batch(scenarios);
+
+  fdb::sim::Report report("e3_feedback_ber");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "feedback BER vs distance, by averaging mode and coding"
+      " (CW, static, noise 2e-8 W)",
+      {"distance_m", "manch_selfgated", "manch_window", "nrz_selfgated",
+       "theory_manch"});
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const auto budget =
+        fdb::sim::compute_link_budget(scenarios[3 * i].config);
+    sec.add_row({distances[i], summaries[3 * i].feedback_ber(),
+                 summaries[3 * i + 1].feedback_ber(),
+                 summaries[3 * i + 2].feedback_ber(),
+                 budget.predicted_feedback_ber});
+  }
+  report.add_note("Shape check: feedback BER grows with distance;"
+                  " self-gated averaging is never worse than plain window"
+                  " averaging.");
+  return report.emit(cli) ? 0 : 1;
 }

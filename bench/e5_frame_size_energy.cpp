@@ -3,11 +3,12 @@
 // goodput is nearly flat in frame size while stop-and-wait forces a
 // painful optimum. Energy per delivered bit (per-state tag power model)
 // follows airtime, so the same shape appears in joules.
-#include <cstdio>
+#include <vector>
 
 #include "energy/ledger.hpp"
 #include "mac/arq.hpp"
-#include "util/table.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -22,14 +23,18 @@ double energy_per_bit(const fdb::mac::ArqStats& stats, double bit_time_s) {
 
 }  // namespace
 
-int main() {
-  std::puts("E5: goodput and energy/bit vs frame size at BER 2e-3");
-  fdb::Table table({"frame_bytes", "fd_goodput", "sw_goodput",
-                    "fd_nJ_per_bit", "sw_nJ_per_bit", "fd_retx_frac"});
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/0,
+                                       "ARQ frames per point (0 = scale"
+                                       " with frame size)");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
   const double ber = 2e-3;
   const double bit_time_s = 1.0 / 50e3;  // 50 kbps data stream
-  for (const std::size_t frame_bytes :
-       {32ul, 64ul, 128ul, 256ul, 512ul, 1024ul}) {
+  const std::vector<std::size_t> frame_sizes = {32, 64, 128, 256, 512, 1024};
+
+  const auto rows = runner.map(frame_sizes.size(), [&](std::size_t i) {
+    const std::size_t frame_bytes = frame_sizes[i];
     fdb::mac::ArqParams params;
     params.payload_bytes = frame_bytes;
     params.block_bytes = 8;
@@ -38,21 +43,30 @@ int main() {
     fdb::mac::IidBlockChannel ch_sw(ber, 0.0, fdb::Rng(5));
     fdb::mac::FullDuplexInstantArq fd;
     fdb::mac::StopAndWaitArq sw;
-    const std::size_t frames = 40000 / frame_bytes + 20;
+    // Default keeps the delivered-byte budget constant across points.
+    const std::size_t frames =
+        cli.trials ? cli.trials : 40000 / frame_bytes + 20;
     const auto fd_stats = fd.run(frames, ch_fd, params);
     const auto sw_stats = sw.run(frames, ch_sw, params);
-    table.add_row_numeric(
-        {static_cast<double>(frame_bytes), fd_stats.goodput(),
-         sw_stats.goodput(), energy_per_bit(fd_stats, bit_time_s),
-         energy_per_bit(sw_stats, bit_time_s),
-         fd_stats.blocks_sent
-             ? static_cast<double>(fd_stats.blocks_retransmitted) /
-                   static_cast<double>(fd_stats.blocks_sent)
-             : 0.0});
-  }
-  table.print();
-  std::puts("\nShape check: fd_goodput flat (slightly rising) in frame"
-            " size; sw_goodput collapses for large frames; energy/bit"
-            " mirrors goodput inversely.");
-  return 0;
+    return std::vector<double>{
+        static_cast<double>(frame_bytes), fd_stats.goodput(),
+        sw_stats.goodput(), energy_per_bit(fd_stats, bit_time_s),
+        energy_per_bit(sw_stats, bit_time_s),
+        fd_stats.blocks_sent
+            ? static_cast<double>(fd_stats.blocks_retransmitted) /
+                  static_cast<double>(fd_stats.blocks_sent)
+            : 0.0};
+  });
+
+  fdb::sim::Report report("e5_frame_size_energy");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "goodput and energy/bit vs frame size at BER 2e-3",
+      {"frame_bytes", "fd_goodput", "sw_goodput", "fd_nJ_per_bit",
+       "sw_nJ_per_bit", "fd_retx_frac"});
+  for (const auto& row : rows) sec.add_row_numeric(row);
+  report.add_note("Shape check: fd_goodput flat (slightly rising) in frame"
+                  " size; sw_goodput collapses for large frames; energy/bit"
+                  " mirrors goodput inversely.");
+  return report.emit(cli) ? 0 : 1;
 }

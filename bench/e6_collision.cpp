@@ -1,36 +1,47 @@
 // E6 — Collision handling. Full-duplex feedback lets the receiver shout
 // "collision!" within a couple of block-times; timeout MACs burn the
 // whole frame plus the ACK wait before anyone notices. Sweep contention.
-#include <cstdio>
+#include <vector>
 
 #include "mac/collision.hpp"
-#include "util/table.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 
-int main() {
-  std::puts("E6: contention — timeout MAC vs full-duplex collision"
-            " notification (32-block frames, saturated tags)");
-  fdb::Table table({"tags", "waste_timeout", "waste_notify", "goodput_timeout",
-                    "goodput_notify", "latency_timeout", "latency_notify"});
-  for (const std::size_t tags : {1ul, 2ul, 4ul, 6ul, 8ul, 12ul}) {
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/300000,
+                                       "simulated slots per contention"
+                                       " point");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  const std::vector<std::size_t> tag_counts = {1, 2, 4, 6, 8, 12};
+  const auto rows = runner.map(tag_counts.size(), [&](std::size_t i) {
     fdb::mac::CollisionSimParams params;
-    params.num_tags = tags;
-    params.sim_slots = 300000;
+    params.num_tags = tag_counts[i];
+    params.sim_slots = cli.trials;
     params.seed = 11;
     const auto timeout =
         fdb::mac::run_collision_sim(fdb::mac::MacKind::kTimeout, params);
     const auto notify = fdb::mac::run_collision_sim(
         fdb::mac::MacKind::kCollisionNotify, params);
-    table.add_row_numeric({static_cast<double>(tags),
-                           timeout.wasted_airtime_fraction(),
-                           notify.wasted_airtime_fraction(),
-                           timeout.goodput_slots_fraction(),
-                           notify.goodput_slots_fraction(),
-                           timeout.mean_delivery_latency(),
-                           notify.mean_delivery_latency()});
-  }
-  table.print();
-  std::puts("\nShape check: wasted airtime grows with contention for both"
-            " MACs but stays far lower with notification; goodput and"
-            " latency follow.");
-  return 0;
+    return std::vector<double>{static_cast<double>(tag_counts[i]),
+                               timeout.wasted_airtime_fraction(),
+                               notify.wasted_airtime_fraction(),
+                               timeout.goodput_slots_fraction(),
+                               notify.goodput_slots_fraction(),
+                               timeout.mean_delivery_latency(),
+                               notify.mean_delivery_latency()};
+  });
+
+  fdb::sim::Report report("e6_collision");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "contention: timeout MAC vs full-duplex collision notification"
+      " (32-block frames, saturated tags)",
+      {"tags", "waste_timeout", "waste_notify", "goodput_timeout",
+       "goodput_notify", "latency_timeout", "latency_notify"});
+  for (const auto& row : rows) sec.add_row_numeric(row);
+  report.add_note("Shape check: wasted airtime grows with contention for"
+                  " both MACs but stays far lower with notification;"
+                  " goodput and latency follow.");
+  return report.emit(cli) ? 0 : 1;
 }

@@ -3,11 +3,11 @@
 // sample, so decoding needs real averaging; fading stresses acquisition.
 // The design claim: the same receiver survives all arms, trading rate
 // (samples per chip) for robustness.
-#include <cstdio>
 #include <string>
+#include <vector>
 
-#include "sim/link_sim.hpp"
-#include "util/table.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -35,10 +35,19 @@ fdb::sim::LinkSimConfig arm(const std::string& carrier,
 
 }  // namespace
 
-int main() {
-  std::puts("E7: carrier/fading robustness vs chip length");
-  fdb::Table table({"carrier", "fading", "samples_per_chip", "data_rate_kbps",
-                    "data_ber", "sync_fail", "feedback_ber"});
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/0,
+                                       "trials per arm (0 = scale with"
+                                       " chip length)");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  struct Arm {
+    std::string carrier;
+    std::string fading;
+    std::size_t spc;
+  };
+  std::vector<Arm> arms;
+  std::vector<fdb::sim::Scenario> scenarios;
   for (const auto& carrier : {std::string("cw"), std::string("ofdm_tv")}) {
     for (const auto& fading :
          {std::string("static"), std::string("rayleigh")}) {
@@ -49,23 +58,30 @@ int main() {
           carrier == "cw" ? std::vector<std::size_t>{6, 20, 60}
                           : std::vector<std::size_t>{60, 200, 600};
       for (const std::size_t spc : chip_lengths) {
-        const std::size_t trials = spc >= 200 ? 15 : 40;
-        const auto config = arm(carrier, fading, spc);
-        fdb::sim::LinkSimulator sim(config);
-        sim.set_payload_bytes(12);
-        const auto s = sim.run(trials);
-        table.add_row({carrier, fading, std::to_string(spc),
-                       fdb::format_g(
-                           config.modem.data.rates.data_rate_bps() / 1e3),
-                       fdb::format_g(s.data_ber()),
-                       fdb::format_g(s.sync_failure_rate()),
-                       fdb::format_g(s.feedback_ber())});
+        const std::size_t trials =
+            cli.trials ? cli.trials : (spc >= 200 ? 15ul : 40ul);
+        arms.push_back({carrier, fading, spc});
+        scenarios.push_back({arm(carrier, fading, spc), trials, 12});
       }
     }
   }
-  table.print();
-  std::puts("\nShape check: CW decodes at every rate; OFDM needs longer"
-            " chips (lower rate) to average its envelope fluctuation;"
-            " Rayleigh adds residual frame losses at any rate.");
-  return 0;
+  const auto summaries = runner.run_batch(scenarios);
+
+  fdb::sim::Report report("e7_ambient_robustness");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "carrier/fading robustness vs chip length",
+      {"carrier", "fading", "samples_per_chip", "data_rate_kbps", "data_ber",
+       "sync_fail", "feedback_ber"});
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& s = summaries[i];
+    const auto& rates = scenarios[i].config.modem.data.rates;
+    sec.add_row({arms[i].carrier, arms[i].fading, arms[i].spc,
+                 rates.data_rate_bps() / 1e3, s.data_ber(),
+                 s.sync_failure_rate(), s.feedback_ber()});
+  }
+  report.add_note("Shape check: CW decodes at every rate; OFDM needs longer"
+                  " chips (lower rate) to average its envelope fluctuation;"
+                  " Rayleigh adds residual frame losses at any rate.");
+  return report.emit(cli) ? 0 : 1;
 }

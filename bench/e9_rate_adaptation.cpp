@@ -3,14 +3,16 @@
 // every scheme transmits continuously and is scored on payload bits
 // delivered per period. The adaptive controller walks the chip-length
 // ladder using per-block verdicts; the oracle always uses the rung that
-// delivers the most bits for the current state.
-#include <cstdio>
+// delivers the most bits for the current state. Each policy run is a
+// self-contained cell, so the schemes fan out through the runner.
+#include <string>
 #include <vector>
 
 #include "core/rate_adaptation.hpp"
 #include "core/theory.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 #include "util/rng.hpp"
-#include "util/table.hpp"
 
 namespace {
 
@@ -32,20 +34,22 @@ double expected_rate(const ChannelState& s, std::size_t spc,
 
 }  // namespace
 
-int main() {
-  std::puts("E9: adaptive vs fixed chip length, wall-clock-fair"
-            " (good: swing .08, bad: swing .04; sigma .05)");
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/20,
+                                       "channel periods per policy walk");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
   const ChannelState good{0.08, 0.05};
   const ChannelState bad{0.04, 0.05};
   const std::size_t block_bits = 72;
   const std::vector<std::size_t> ladder = {4, 8, 16, 32, 64};
   const std::size_t period_samples = 4'000'000;
-  const std::size_t periods = 20;
+  const std::size_t periods = cli.trials;
 
   // One run of a transmit policy over the whole walk. The policy is a
   // callback giving the chip length for the next block; verdicts are
   // reported back for adaptive policies.
-  auto run_policy = [&](auto&& next_spc, auto&& report) -> double {
+  auto run_policy = [&](auto&& next_spc, auto&& report_verdict) -> double {
     fdb::Rng rng(17);
     double delivered = 0.0;
     for (std::size_t period = 0; period < periods; ++period) {
@@ -54,7 +58,7 @@ int main() {
       while (t < period_samples) {
         const std::size_t spc = next_spc(state);
         const bool ok = !rng.chance(bler(state, spc, block_bits));
-        report(ok);
+        report_verdict(ok);
         delivered += ok ? static_cast<double>(block_bits) : 0.0;
         t += spc * block_bits;
       }
@@ -63,55 +67,80 @@ int main() {
   };
   auto no_report = [](bool) {};
 
-  fdb::Table table({"scheme", "bits_per_sample", "fraction_of_oracle"});
+  fdb::core::RateAdaptConfig adapt_config;
+  adapt_config.chip_ladder = ladder;
+  adapt_config.window_blocks = 64;
+  adapt_config.min_dwell_blocks = 64;
+  adapt_config.upshift_below = 0.01;
+  adapt_config.initial_rung = 2;
 
-  // Oracle: per-state best rung by expected delivered rate.
-  const double oracle = run_policy(
-      [&](const ChannelState& s) {
-        std::size_t best = 0;
-        for (std::size_t r = 1; r < ladder.size(); ++r) {
-          if (expected_rate(s, ladder[r], block_bits) >
-              expected_rate(s, ladder[best], block_bits)) {
-            best = r;
-          }
-        }
-        return ladder[best];
-      },
-      no_report);
+  struct SchemeResult {
+    std::string name;
+    double bits_per_sample = 0.0;
+    std::uint64_t upshifts = 0;
+    std::uint64_t downshifts = 0;
+  };
 
-  // Adaptive controller (does not see the state, only verdicts).
-  // Larger window + stricter upshift gate than the defaults: probing a
-  // faster rate costs a dwell's worth of mostly-lost blocks, so the
-  // evidence bar for "channel got better" should be high.
-  fdb::core::RateAdaptConfig config;
-  config.chip_ladder = ladder;
-  config.window_blocks = 64;
-  config.min_dwell_blocks = 64;
-  config.upshift_below = 0.01;
-  config.initial_rung = 2;
-  fdb::core::RateController controller(config);
-  const double adaptive = run_policy(
-      [&](const ChannelState&) { return controller.samples_per_chip(); },
-      [&](bool ok) { controller.on_block_verdict(ok); });
+  // Scheme cells: oracle, adaptive, then one fixed arm per rung. Each
+  // constructs its own policy state, so they run concurrently.
+  const std::size_t n_schemes = 2 + ladder.size();
+  const auto results = runner.map(n_schemes, [&](std::size_t i) {
+    SchemeResult r;
+    if (i == 0) {
+      // Oracle: per-state best rung by expected delivered rate.
+      r.name = "oracle";
+      r.bits_per_sample = run_policy(
+          [&](const ChannelState& s) {
+            std::size_t best = 0;
+            for (std::size_t rung = 1; rung < ladder.size(); ++rung) {
+              if (expected_rate(s, ladder[rung], block_bits) >
+                  expected_rate(s, ladder[best], block_bits)) {
+                best = rung;
+              }
+            }
+            return ladder[best];
+          },
+          no_report);
+    } else if (i == 1) {
+      // Adaptive controller (does not see the state, only verdicts).
+      // Larger window + stricter upshift gate than the defaults:
+      // probing a faster rate costs a dwell's worth of mostly-lost
+      // blocks, so the evidence bar for "channel got better" is high.
+      r.name = "adaptive";
+      fdb::core::RateController controller(adapt_config);
+      r.bits_per_sample = run_policy(
+          [&](const ChannelState&) { return controller.samples_per_chip(); },
+          [&](bool ok) { controller.on_block_verdict(ok); });
+      r.upshifts = controller.upshifts();
+      r.downshifts = controller.downshifts();
+    } else {
+      const std::size_t spc = ladder[i - 2];
+      r.name = "fixed_spc" + std::to_string(spc);
+      r.bits_per_sample = run_policy(
+          [&](const ChannelState&) { return spc; }, no_report);
+    }
+    return r;
+  });
 
-  table.add_row({"oracle", fdb::format_g(oracle), "1"});
-  table.add_row({"adaptive", fdb::format_g(adaptive),
-                 fdb::format_g(adaptive / oracle)});
-  for (const std::size_t spc : ladder) {
-    const double fixed = run_policy(
-        [&](const ChannelState&) { return spc; }, no_report);
-    table.add_row({"fixed_spc" + std::to_string(spc),
-                   fdb::format_g(fixed), fdb::format_g(fixed / oracle)});
+  const double oracle = results[0].bits_per_sample;
+  fdb::sim::Report report("e9_rate_adaptation");
+  report.set_run_info(periods, runner.jobs());
+  auto& sec = report.section(
+      "adaptive vs fixed chip length, wall-clock-fair"
+      " (good: swing .08, bad: swing .04; sigma .05)",
+      {"scheme", "bits_per_sample", "fraction_of_oracle"});
+  for (const auto& r : results) {
+    sec.add_row({r.name, r.bits_per_sample,
+                 oracle > 0.0 ? r.bits_per_sample / oracle : 0.0});
   }
-  table.print();
-  std::printf("\ncontroller: %llu upshifts, %llu downshifts over %zu"
-              " channel periods\n",
-              static_cast<unsigned long long>(controller.upshifts()),
-              static_cast<unsigned long long>(controller.downshifts()),
-              periods);
-  std::puts("Shape check: adaptive approaches the oracle without knowing"
-            " the channel, and no single fixed rate does as well across"
-            " both states: fast rungs deliver nothing in bad periods,"
-            " slow rungs squander good ones.");
-  return 0;
+  auto& shifts = report.section(
+      "controller transitions", {"upshifts", "downshifts", "periods"});
+  shifts.add_row({static_cast<double>(results[1].upshifts),
+                  static_cast<double>(results[1].downshifts),
+                  static_cast<double>(periods)});
+  report.add_note("Shape check: adaptive approaches the oracle without"
+                  " knowing the channel, and no single fixed rate does as"
+                  " well across both states: fast rungs deliver nothing in"
+                  " bad periods, slow rungs squander good ones.");
+  return report.emit(cli) ? 0 : 1;
 }

@@ -1,0 +1,29 @@
+# Runs one bench binary in smoke mode (--trials 2 --jobs 2 --format json)
+# and validates that its stdout parses as JSON. Invoked by ctest with
+# -DBENCH_BIN=<path> -DPYTHON3=<path>.
+execute_process(
+  COMMAND "${BENCH_BIN}" --trials 2 --jobs 2 --format json
+  OUTPUT_VARIABLE bench_output
+  RESULT_VARIABLE bench_status)
+if(NOT bench_status EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} exited with status ${bench_status}")
+endif()
+
+# Feed the captured output through python's JSON parser via a temp file
+# (execute_process has no stdin-from-variable).
+get_filename_component(bench_name "${BENCH_BIN}" NAME)
+set(tmp "$ENV{TMPDIR}")
+if(NOT tmp)
+  set(tmp "/tmp")
+endif()
+set(tmp "${tmp}/fdb_${bench_name}_smoke.json")
+file(WRITE "${tmp}" "${bench_output}")
+execute_process(
+  COMMAND "${PYTHON3}" -c "import json, sys; json.load(open(sys.argv[1]))" "${tmp}"
+  RESULT_VARIABLE json_status
+  ERROR_VARIABLE json_error)
+file(REMOVE "${tmp}")
+if(NOT json_status EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH_BIN} --format json did not emit valid JSON: ${json_error}")
+endif()

@@ -3,28 +3,40 @@
 // silence) with the full-duplex MAC (receiver notifies colliders within
 // two block-times) as the lane gets busier.
 #include <cstdio>
+#include <vector>
 
 #include "mac/collision.hpp"
+#include "sim/runner.hpp"
 
 int main() {
   std::puts("Checkout-lane contention: timeout MAC vs FD collision"
             " notification\n");
   std::printf("%5s  %22s  %22s\n", "tags", "timeout (waste/goodput)",
               "notify (waste/goodput)");
-  for (const std::size_t tags : {2ul, 4ul, 8ul}) {
+  // Both MAC arms of every contention level fan out across the
+  // experiment runner; results come back in axis order.
+  const std::vector<std::size_t> tag_counts = {2, 4, 8};
+  const fdb::sim::ExperimentRunner runner;
+  struct Row {
+    fdb::mac::CollisionStats timeout;
+    fdb::mac::CollisionStats notify;
+  };
+  const auto rows = runner.map(tag_counts.size(), [&](std::size_t i) {
     fdb::mac::CollisionSimParams params;
-    params.num_tags = tags;
+    params.num_tags = tag_counts[i];
     params.sim_slots = 200000;
     params.seed = 5;
-    const auto timeout =
-        fdb::mac::run_collision_sim(fdb::mac::MacKind::kTimeout, params);
-    const auto notify = fdb::mac::run_collision_sim(
-        fdb::mac::MacKind::kCollisionNotify, params);
-    std::printf("%5zu  %10.3f / %-9.3f  %10.3f / %-9.3f\n", tags,
-                timeout.wasted_airtime_fraction(),
-                timeout.goodput_slots_fraction(),
-                notify.wasted_airtime_fraction(),
-                notify.goodput_slots_fraction());
+    return Row{
+        fdb::mac::run_collision_sim(fdb::mac::MacKind::kTimeout, params),
+        fdb::mac::run_collision_sim(fdb::mac::MacKind::kCollisionNotify,
+                                    params)};
+  });
+  for (std::size_t i = 0; i < tag_counts.size(); ++i) {
+    std::printf("%5zu  %10.3f / %-9.3f  %10.3f / %-9.3f\n", tag_counts[i],
+                rows[i].timeout.wasted_airtime_fraction(),
+                rows[i].timeout.goodput_slots_fraction(),
+                rows[i].notify.wasted_airtime_fraction(),
+                rows[i].notify.goodput_slots_fraction());
   }
   std::puts("\nWith notification, a collision costs ~2 block-times instead"
             " of a\nwhole frame plus timeout — the channel stays usable even"

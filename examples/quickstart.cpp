@@ -39,7 +39,7 @@ int main() {
 
   fdb::sim::LinkSimulator sim(config);
   sim.set_payload_bytes(64);
-  const auto trial = sim.run_trial();
+  const auto trial = sim.run_trial(0);
 
   std::printf("\nOne frame exchange (64-byte payload, 8 blocks):\n");
   std::printf("  sync acquired          : %s (corr %.2f)\n",

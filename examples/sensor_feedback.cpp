@@ -24,7 +24,7 @@ fdb::mac::TraceBlockChannel record(const fdb::sim::LinkSimConfig& config,
   const std::size_t blocks_per_frame =
       payload_bytes / config.modem.block_size_bytes;
   for (std::size_t f = 0; f < frames; ++f) {
-    const auto trial = sim.run_trial();
+    const auto trial = sim.run_trial(f);
     for (std::size_t b = 0; b < blocks_per_frame; ++b) {
       const bool corrupted =
           !trial.sync_ok || b >= trial.block_ok.size() || !trial.block_ok[b];

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <optional>
 
+#include "channel/ambient_source.hpp"
+#include "channel/fading.hpp"
 #include "dsp/envelope.hpp"
 #include "util/bits.hpp"
 
@@ -18,11 +20,6 @@ double LinkSimConfig::noise_power_w() const {
 
 LinkSimulator::LinkSimulator(LinkSimConfig config)
     : config_(config),
-      rng_(config.seed),
-      source_(channel::make_ambient_source(config.carrier, config.seed)),
-      fade_sa_(channel::make_fading(config.fading, rng_)),
-      fade_sb_(channel::make_fading(config.fading, rng_)),
-      fade_ab_(channel::make_fading(config.fading, rng_)),
       tx_(config.modem),
       rx_(config.modem),
       fb_rx_(config.modem),
@@ -32,14 +29,24 @@ LinkSimulator::LinkSimulator(LinkSimConfig config)
   assert(config_.modem.consistent());
 }
 
-TrialResult LinkSimulator::run_trial() {
+TrialResult LinkSimulator::run_trial(std::uint64_t trial_index) const {
   TrialResult result;
   const auto& rates = config_.modem.data.rates;
+
+  // Everything stochastic about this trial lives on the stack, keyed by
+  // (seed, trial_index): the generator, the ambient carrier realisation,
+  // and the fading processes. Member state stays untouched, so many
+  // threads can run disjoint trials on one simulator.
+  Rng rng = Rng::substream(config_.seed, trial_index);
+  const auto source = channel::make_ambient_source(config_.carrier, rng());
+  const auto fade_sa = channel::make_fading(config_.fading, rng);
+  const auto fade_sb = channel::make_fading(config_.fading, rng);
+  const auto fade_ab = channel::make_fading(config_.fading, rng);
 
   // ---- payload & on-air states for A (data transmitter) --------------
   std::vector<std::uint8_t> payload(payload_bytes_);
   for (auto& byte : payload) {
-    byte = static_cast<std::uint8_t>(rng_.uniform_int(256));
+    byte = static_cast<std::uint8_t>(rng.uniform_int(256));
   }
   auto states_a = tx_.modulate(payload);
   // Capture tail: one feedback slot of silence after the burst. The RC
@@ -59,7 +66,7 @@ TrialResult LinkSimulator::run_trial() {
   const std::size_t num_fb_bits = std::max<std::size_t>(
       1, (total - data_start) / rates.samples_per_feedback_bit());
   std::vector<std::uint8_t> fb_bits(num_fb_bits);
-  for (auto& bit : fb_bits) bit = rng_.chance(0.5) ? 1 : 0;
+  for (auto& bit : fb_bits) bit = rng.chance(0.5) ? 1 : 0;
 
   std::vector<std::uint8_t> states_b(total, 0);
   if (config_.feedback_active) {
@@ -71,38 +78,38 @@ TrialResult LinkSimulator::run_trial() {
   }
 
   // ---- channel gains for this coherence block (frame) ----------------
-  fade_sa_->next_block(rng_);
-  fade_sb_->next_block(rng_);
-  fade_ab_->next_block(rng_);
+  fade_sa->next_block(rng);
+  fade_sb->next_block(rng);
+  fade_ab->next_block(rng);
   const double amp_tx = std::sqrt(config_.tx_power_w);
-  const cf32 h_sa = fade_sa_->gain() *
+  const cf32 h_sa = fade_sa->gain() *
                     static_cast<float>(
                         amp_tx * config_.pathloss.amplitude_gain(
                                      config_.ambient_to_a_m));
-  const cf32 h_sb = fade_sb_->gain() *
+  const cf32 h_sb = fade_sb->gain() *
                     static_cast<float>(
                         amp_tx * config_.pathloss.amplitude_gain(
                                      config_.ambient_to_b_m));
   const cf32 h_ab =
-      fade_ab_->gain() *
+      fade_ab->gain() *
       static_cast<float>(config_.pathloss.amplitude_gain(config_.a_to_b_m));
   const auto c_self = static_cast<float>(config_.self_coupling);
 
   // ---- sample streams -------------------------------------------------
   std::vector<cf32> ambient;
-  source_->generate(total, ambient);
+  source->generate(total, ambient);
 
   const double noise_power = config_.noise_power_w();
-  channel::AwgnChannel noise_a(noise_power, rng_.fork());
-  channel::AwgnChannel noise_b(noise_power, rng_.fork());
+  channel::AwgnChannel noise_a(noise_power, rng.fork());
+  channel::AwgnChannel noise_b(noise_power, rng.fork());
   channel::CfoRotator cfo(config_.cfo_hz, rates.sample_rate_hz);
 
   // Frequency-selective carrier paths (redrawn each frame).
   std::optional<channel::MultipathChannel> mp_a;
   std::optional<channel::MultipathChannel> mp_b;
   if (config_.multipath) {
-    mp_a.emplace(config_.multipath_profile, rng_);
-    mp_b.emplace(config_.multipath_profile, rng_);
+    mp_a.emplace(config_.multipath_profile, rng);
+    mp_b.emplace(config_.multipath_profile, rng);
   }
 
   // Co-channel interferer: a third reflector C toggling at random.
@@ -120,7 +127,7 @@ TrialResult LinkSimulator::run_trial() {
     while (i < total) {
       const std::size_t dwell =
           1 + static_cast<std::size_t>(
-                  rng_.exponential(static_cast<double>(
+                  rng.exponential(static_cast<double>(
                       config_.interferer_dwell_samples)));
       for (std::size_t k = 0; k < dwell && i < total; ++k, ++i) {
         states_c[i] = state;
@@ -231,20 +238,31 @@ TrialResult LinkSimulator::run_trial() {
   return result;
 }
 
-LinkSimSummary LinkSimulator::run(std::size_t n) {
-  LinkSimSummary summary;
-  for (std::size_t t = 0; t < n; ++t) {
-    const TrialResult trial = run_trial();
-    ++summary.trials;
-    if (!trial.sync_ok) ++summary.sync_failures;
-    if (trial.sync_ok && !trial.sync_correct) ++summary.false_syncs;
-    summary.data.add(trial.data_bit_errors, trial.data_bits);
-    if (trial.sync_correct) {
-      summary.data_aligned.add(trial.data_bit_errors, trial.data_bits);
-    }
-    summary.feedback.add(trial.feedback_bit_errors, trial.feedback_bits);
-    summary.harvested_per_frame_j.add(trial.harvested_j);
+void LinkSimSummary::add(const TrialResult& trial) {
+  ++trials;
+  if (!trial.sync_ok) ++sync_failures;
+  if (trial.sync_ok && !trial.sync_correct) ++false_syncs;
+  data.add(trial.data_bit_errors, trial.data_bits);
+  if (trial.sync_correct) {
+    data_aligned.add(trial.data_bit_errors, trial.data_bits);
   }
+  feedback.add(trial.feedback_bit_errors, trial.feedback_bits);
+  harvested_per_frame_j.add(trial.harvested_j);
+}
+
+void LinkSimSummary::merge(const LinkSimSummary& other) {
+  data.merge(other.data);
+  data_aligned.merge(other.data_aligned);
+  feedback.merge(other.feedback);
+  sync_failures += other.sync_failures;
+  false_syncs += other.false_syncs;
+  trials += other.trials;
+  harvested_per_frame_j.merge(other.harvested_per_frame_j);
+}
+
+LinkSimSummary LinkSimulator::run(std::size_t n) const {
+  LinkSimSummary summary;
+  for (std::size_t t = 0; t < n; ++t) summary.add(run_trial(t));
   return summary;
 }
 

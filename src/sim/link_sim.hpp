@@ -20,13 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "channel/ambient_source.hpp"
 #include "channel/backscatter.hpp"
-#include "channel/fading.hpp"
 #include "channel/impairments.hpp"
 #include "channel/multipath.hpp"
 #include "channel/pathloss.hpp"
@@ -101,7 +98,8 @@ struct TrialResult {
   bool sync_correct = false;
 };
 
-/// Aggregate over many trials.
+/// Aggregate over many trials. Mergeable so a parallel runner can
+/// combine per-worker partial summaries (see sim/runner.hpp).
 struct LinkSimSummary {
   ErrorRateCounter data;
   /// Bit errors conditioned on correct acquisition — the quantity the
@@ -112,6 +110,14 @@ struct LinkSimSummary {
   std::uint64_t false_syncs = 0;
   std::uint64_t trials = 0;
   RunningStats harvested_per_frame_j;
+
+  /// Folds one trial outcome into the aggregate.
+  void add(const TrialResult& trial);
+
+  /// Combines with another summary. Counters add exactly; the Welford
+  /// moments merge stably, and the result is independent of how trials
+  /// were grouped as long as the merge order is fixed.
+  void merge(const LinkSimSummary& other);
 
   double data_ber() const { return data.rate(); }
   double aligned_data_ber() const { return data_aligned.rate(); }
@@ -130,10 +136,19 @@ class LinkSimulator {
   /// Runs one frame exchange with a random payload and random feedback
   /// bits; sync failures count all data bits as errored (the frame is
   /// lost) so BER is honest about acquisition.
-  TrialResult run_trial();
+  ///
+  /// Pure with respect to the simulator: all randomness (payload,
+  /// feedback bits, channel draws, noise) derives from
+  /// Rng::substream(config.seed, trial_index) inside the call, and no
+  /// member state is touched. Trial i therefore produces the same result
+  /// no matter which thread runs it or in what order — the contract the
+  /// parallel ExperimentRunner (sim/runner.hpp) is built on. Safe to
+  /// call concurrently from many threads on one simulator.
+  TrialResult run_trial(std::uint64_t trial_index) const;
 
-  /// Runs `n` trials and aggregates.
-  LinkSimSummary run(std::size_t n);
+  /// Runs trials [0, n) serially and aggregates. Equivalent trial-set
+  /// to ExperimentRunner::run at any job count.
+  LinkSimSummary run(std::size_t n) const;
 
   /// Per-trial payload size (bytes) — smaller is faster for BER sweeps.
   void set_payload_bytes(std::size_t n) { payload_bytes_ = n; }
@@ -144,11 +159,6 @@ class LinkSimulator {
  private:
   LinkSimConfig config_;
   std::size_t payload_bytes_ = 16;
-  Rng rng_;
-  std::unique_ptr<channel::AmbientSource> source_;
-  std::unique_ptr<channel::FadingProcess> fade_sa_;
-  std::unique_ptr<channel::FadingProcess> fade_sb_;
-  std::unique_ptr<channel::FadingProcess> fade_ab_;
   core::FdDataTransmitter tx_;
   core::FdDataReceiver rx_;
   core::FdFeedbackReceiver fb_rx_;

@@ -1,0 +1,266 @@
+#include "sim/report.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace fdb::sim {
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* argv0, const char* trials_help,
+                                 std::size_t default_trials, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [--trials N] [--jobs N] [--format table|csv|json]"
+               " [--output PATH]\n"
+               "  --trials N   %s (default: %zu; 0 = bench default)\n"
+               "  --jobs N     worker threads (default 0 = all hardware"
+               " threads)\n"
+               "  --format F   output format: table (default), csv, json\n"
+               "  --output P   also write the rendered output to file P\n",
+               argv0, trials_help, default_trials);
+  std::exit(code);
+}
+
+std::size_t parse_count(const char* argv0, const char* flag, const char* value,
+                        const char* trials_help, std::size_t default_trials) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  // strtoull silently wraps a leading '-' ("-1" -> ULLONG_MAX); reject it.
+  if (end == value || *end != '\0' ||
+      std::strchr(value, '-') != nullptr) {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n",
+                 argv0, flag, value);
+    usage_and_exit(argv0, trials_help, default_trials, 2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Full-precision number for JSON; non-finite values have no JSON
+/// representation and become null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string cell_text(const ReportCell& cell) {
+  return cell.is_number ? format_g(cell.number) : cell.text;
+}
+
+/// CSV quoting: wrap fields containing separators/quotes, double quotes.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv, std::size_t default_trials,
+                     const char* trials_help) {
+  CliOptions options;
+  options.trials = default_trials;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", argv[0], arg);
+        usage_and_exit(argv[0], trials_help, default_trials, 2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage_and_exit(argv[0], trials_help, default_trials, 0);
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      options.trials = parse_count(argv[0], arg, value(), trials_help,
+                                   default_trials);
+      // An explicit 0 asks for the bench default, as the usage promises.
+      if (options.trials == 0) options.trials = default_trials;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      options.jobs = parse_count(argv[0], arg, value(), trials_help,
+                                 default_trials);
+    } else if (std::strcmp(arg, "--format") == 0) {
+      const char* fmt = value();
+      if (std::strcmp(fmt, "table") == 0) {
+        options.format = ReportFormat::kTable;
+      } else if (std::strcmp(fmt, "csv") == 0) {
+        options.format = ReportFormat::kCsv;
+      } else if (std::strcmp(fmt, "json") == 0) {
+        options.format = ReportFormat::kJson;
+      } else {
+        std::fprintf(stderr, "%s: unknown format '%s'\n", argv[0], fmt);
+        usage_and_exit(argv[0], trials_help, default_trials, 2);
+      }
+    } else if (std::strcmp(arg, "--output") == 0) {
+      options.output_path = value();
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg);
+      usage_and_exit(argv[0], trials_help, default_trials, 2);
+    }
+  }
+  return options;
+}
+
+void ReportSection::add_row(std::vector<ReportCell> cells) {
+  assert(cells.size() == columns.size());
+  rows.push_back(std::move(cells));
+}
+
+void ReportSection::add_row_numeric(const std::vector<double>& values) {
+  add_row(std::vector<ReportCell>(values.begin(), values.end()));
+}
+
+Report::Report(std::string experiment) : experiment_(std::move(experiment)) {}
+
+ReportSection& Report::section(std::string name,
+                               std::vector<std::string> columns) {
+  sections_.push_back({std::move(name), std::move(columns), {}});
+  return sections_.back();
+}
+
+void Report::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Report::set_run_info(std::size_t trials, std::size_t jobs) {
+  trials_ = trials;
+  jobs_ = jobs;
+}
+
+std::string Report::render_table() const {
+  std::ostringstream os;
+  os << experiment_ << '\n';
+  for (const ReportSection& sec : sections_) {
+    if (!sec.name.empty()) os << '\n' << sec.name << '\n';
+    Table table(sec.columns);
+    for (const auto& row : sec.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const ReportCell& cell : row) cells.push_back(cell_text(cell));
+      table.add_row(std::move(cells));
+    }
+    os << table.render();
+  }
+  for (const std::string& note : notes_) os << '\n' << note << '\n';
+  return os.str();
+}
+
+std::string Report::render_csv() const {
+  std::ostringstream os;
+  for (const ReportSection& sec : sections_) {
+    os << "# " << experiment_ << '/' << sec.name << " trials=" << trials_
+       << " jobs=" << jobs_ << '\n';
+    for (std::size_t c = 0; c < sec.columns.size(); ++c) {
+      os << (c ? "," : "") << csv_field(sec.columns[c]);
+    }
+    os << '\n';
+    for (const auto& row : sec.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << (c ? "," : "") << csv_field(cell_text(row[c]));
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string Report::render_json() const {
+  std::ostringstream os;
+  os << "{\"experiment\":\"" << json_escape(experiment_) << "\",";
+  os << "\"trials\":" << trials_ << ",\"jobs\":" << jobs_ << ",";
+  os << "\"sections\":[";
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    const ReportSection& sec = sections_[s];
+    if (s) os << ',';
+    os << "{\"name\":\"" << json_escape(sec.name) << "\",\"columns\":[";
+    for (std::size_t c = 0; c < sec.columns.size(); ++c) {
+      if (c) os << ',';
+      os << '"' << json_escape(sec.columns[c]) << '"';
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+      if (r) os << ',';
+      os << '[';
+      for (std::size_t c = 0; c < sec.rows[r].size(); ++c) {
+        const ReportCell& cell = sec.rows[r][c];
+        if (c) os << ',';
+        if (cell.is_number) {
+          os << json_number(cell.number);
+        } else {
+          os << '"' << json_escape(cell.text) << '"';
+        }
+      }
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "],\"notes\":[";
+  for (std::size_t n = 0; n < notes_.size(); ++n) {
+    if (n) os << ',';
+    os << '"' << json_escape(notes_[n]) << '"';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string Report::render(ReportFormat format) const {
+  switch (format) {
+    case ReportFormat::kCsv: return render_csv();
+    case ReportFormat::kJson: return render_json();
+    case ReportFormat::kTable: break;
+  }
+  return render_table();
+}
+
+bool Report::emit(const CliOptions& options) const {
+  const std::string rendered = render(options.format);
+  std::fputs(rendered.c_str(), stdout);
+  if (!options.output_path.empty()) {
+    std::ofstream out(options.output_path);
+    out << rendered;
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: could not write report to '%s'\n",
+                   options.output_path.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fdb::sim

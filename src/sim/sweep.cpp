@@ -6,7 +6,9 @@
 namespace fdb::sim {
 
 std::vector<double> logspace(double lo, double hi, std::size_t n) {
-  assert(lo > 0.0 && hi > lo && n >= 2);
+  assert(lo > 0.0 && hi > 0.0);
+  if (n == 0) return {};
+  if (n == 1) return {lo};
   std::vector<double> values(n);
   const double step = (std::log10(hi) - std::log10(lo)) /
                       static_cast<double>(n - 1);
@@ -17,7 +19,8 @@ std::vector<double> logspace(double lo, double hi, std::size_t n) {
 }
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
-  assert(n >= 2);
+  if (n == 0) return {};
+  if (n == 1) return {lo};
   std::vector<double> values(n);
   const double step = (hi - lo) / static_cast<double>(n - 1);
   for (std::size_t i = 0; i < n; ++i) {

@@ -108,4 +108,13 @@ Rng Rng::fork() {
   return Rng((*this)());
 }
 
+Rng Rng::substream(std::uint64_t seed, std::uint64_t stream) {
+  // Two splitmix64 rounds with the counter folded in between: full
+  // avalanche on both inputs, so stream 0 and stream 1 of the same seed
+  // share no structure, and neither matches Rng(seed) itself.
+  std::uint64_t x = seed;
+  x = splitmix64(x) ^ stream;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace fdb

@@ -59,6 +59,14 @@ class Rng {
   /// simulated device its own stream from one experiment seed.
   Rng fork();
 
+  /// Counter-based substream derivation: hashes (seed, stream) into a
+  /// fresh, well-mixed state. Unlike fork(), the result depends only on
+  /// the two inputs — substream(seed, i) is the same generator no matter
+  /// which thread asks for it or in what order, which is what lets a
+  /// parallel trial runner give trial i identical randomness at any job
+  /// count. Adjacent stream indices are decorrelated by the hash.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

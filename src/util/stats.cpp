@@ -83,6 +83,19 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  const bool compatible = lo_ == other.lo_ && hi_ == other.hi_ &&
+                          counts_.size() == other.counts_.size();
+  assert(compatible);
+  // Release builds compile the assert out; refuse the merge rather than
+  // index past the smaller counts vector.
+  if (!compatible) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(counts_.size());

@@ -53,6 +53,12 @@ class ErrorRateCounter {
     errors_ += errors;
     trials_ += trials;
   }
+  /// Combines with another counter (exact — integer sums), so sharded
+  /// trial runners can merge per-worker counters in any grouping.
+  void merge(const ErrorRateCounter& other) {
+    errors_ += other.errors_;
+    trials_ += other.trials_;
+  }
   std::uint64_t errors() const { return errors_; }
   std::uint64_t trials() const { return trials_; }
   double rate() const {
@@ -75,6 +81,9 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  /// Combines with another histogram over the same [lo, hi) range and
+  /// bin count (asserted); counts add exactly.
+  void merge(const Histogram& other);
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }

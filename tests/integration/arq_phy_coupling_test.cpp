@@ -18,7 +18,7 @@ mac::TraceBlockChannel record_trace(const sim::LinkSimConfig& config,
   sim.set_payload_bytes(payload_bytes);
   mac::TraceBlockChannel trace;
   for (std::size_t f = 0; f < frames; ++f) {
-    const auto trial = sim.run_trial();
+    const auto trial = sim.run_trial(f);
     if (!trial.sync_ok) {
       // Whole frame lost: every block corrupted.
       const std::size_t blocks =

@@ -24,7 +24,7 @@ TEST(FdEndToEnd, VerdictsTravelBackIntact) {
   auto config = loop_config();
   sim::LinkSimulator sim(config);
   sim.set_payload_bytes(16);  // 4 blocks
-  const auto trial = sim.run_trial();
+  const auto trial = sim.run_trial(0);
   ASSERT_TRUE(trial.sync_ok);
   ASSERT_EQ(trial.block_ok.size(), 4u);
 

@@ -139,7 +139,7 @@ TEST(LinkSim, OfdmCarrierHarderThanCw) {
 TEST(LinkSim, TrialReportsBlockVerdicts) {
   LinkSimulator sim(fast_config());
   sim.set_payload_bytes(16);  // 4 blocks
-  const auto trial = sim.run_trial();
+  const auto trial = sim.run_trial(0);
   ASSERT_TRUE(trial.sync_ok);
   EXPECT_EQ(trial.block_ok.size(), 4u);
   for (const bool ok : trial.block_ok) EXPECT_TRUE(ok);

@@ -1,0 +1,161 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fdb::sim {
+namespace {
+
+Report sample_report() {
+  Report report("e_test");
+  report.set_run_info(12, 4);
+  auto& sec = report.section("main", {"x", "label", "y"});
+  sec.add_row({1.5, "alpha", 0.25});
+  sec.add_row({2.5, "beta", 1e-9});
+  report.add_note("Shape check: y falls.");
+  return report;
+}
+
+TEST(Report, TableRenderContainsColumnsAndCells) {
+  const auto text = sample_report().render(ReportFormat::kTable);
+  EXPECT_NE(text.find("e_test"), std::string::npos);
+  EXPECT_NE(text.find("label"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1e-09"), std::string::npos);
+  EXPECT_NE(text.find("Shape check"), std::string::npos);
+}
+
+TEST(Report, CsvRenderHasHeaderAndRows) {
+  const auto csv = sample_report().render(ReportFormat::kCsv);
+  EXPECT_NE(csv.find("# e_test/main trials=12 jobs=4"), std::string::npos);
+  EXPECT_NE(csv.find("x,label,y"), std::string::npos);
+  EXPECT_NE(csv.find("1.5,alpha,0.25"), std::string::npos);
+}
+
+TEST(Report, CsvQuotesSeparatorsAndQuotes) {
+  Report report("quoting");
+  auto& sec = report.section("main", {"name"});
+  sec.add_row({std::string("a,b")});
+  sec.add_row({std::string("say \"hi\"")});
+  const auto csv = report.render(ReportFormat::kCsv);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Report, JsonRenderStructure) {
+  const auto json = sample_report().render(ReportFormat::kJson);
+  EXPECT_NE(json.find("\"experiment\":\"e_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"trials\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"columns\":[\"x\",\"label\",\"y\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("[1.5,\"alpha\",0.25]"), std::string::npos);
+  EXPECT_NE(json.find("\"notes\":[\"Shape check: y falls.\"]"),
+            std::string::npos);
+}
+
+TEST(Report, JsonEscapesStringsAndNonFinite) {
+  Report report("esc \"quote\"\n");
+  report.set_run_info(0, 1);
+  auto& sec = report.section("main", {"v"});
+  sec.add_row({std::numeric_limits<double>::infinity()});
+  sec.add_row({std::string("tab\there")});
+  const auto json = report.render(ReportFormat::kJson);
+  EXPECT_NE(json.find("esc \\\"quote\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("[null]"), std::string::npos);  // inf -> null
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST(Report, JsonNumbersRoundTripFullPrecision) {
+  Report report("prec");
+  auto& sec = report.section("main", {"v"});
+  const double v = 0.1234567890123456789;
+  sec.add_row({v});
+  const auto json = report.render(ReportFormat::kJson);
+  // %.17g preserves the exact double.
+  EXPECT_NE(json.find("0.12345678901234568"), std::string::npos);
+}
+
+TEST(Report, MultipleSectionsRenderInOrder) {
+  Report report("two");
+  report.section("first", {"a"}).add_row({1.0});
+  report.section("second", {"b"}).add_row({2.0});
+  const auto json = report.render(ReportFormat::kJson);
+  const auto first = json.find("\"name\":\"first\"");
+  const auto second = json.find("\"name\":\"second\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+TEST(ParseCli, DefaultsWhenNoFlags) {
+  const char* argv[] = {"bench"};
+  const auto cli = parse_cli(1, const_cast<char**>(argv), 60);
+  EXPECT_EQ(cli.trials, 60u);
+  EXPECT_EQ(cli.jobs, 0u);
+  EXPECT_EQ(cli.format, ReportFormat::kTable);
+  EXPECT_TRUE(cli.output_path.empty());
+}
+
+TEST(ParseCli, ParsesAllFlags) {
+  const char* argv[] = {"bench", "--trials", "200", "--jobs", "8",
+                        "--format", "json", "--output", "/tmp/out.json"};
+  const auto cli = parse_cli(9, const_cast<char**>(argv), 60);
+  EXPECT_EQ(cli.trials, 200u);
+  EXPECT_EQ(cli.jobs, 8u);
+  EXPECT_EQ(cli.format, ReportFormat::kJson);
+  EXPECT_EQ(cli.output_path, "/tmp/out.json");
+}
+
+TEST(ParseCli, ExplicitZeroTrialsMeansBenchDefault) {
+  const char* argv[] = {"bench", "--trials", "0"};
+  const auto cli = parse_cli(3, const_cast<char**>(argv), 60);
+  EXPECT_EQ(cli.trials, 60u);
+}
+
+TEST(ParseCli, CsvFormat) {
+  const char* argv[] = {"bench", "--format", "csv"};
+  const auto cli = parse_cli(3, const_cast<char**>(argv), 0);
+  EXPECT_EQ(cli.format, ReportFormat::kCsv);
+}
+
+using ParseCliDeath = ::testing::Test;
+
+TEST(ParseCliDeath, RejectsUnknownFlag) {
+  const char* argv[] = {"bench", "--bogus"};
+  EXPECT_EXIT(parse_cli(2, const_cast<char**>(argv), 0),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(ParseCliDeath, RejectsMalformedCount) {
+  const char* argv[] = {"bench", "--trials", "abc"};
+  EXPECT_EXIT(parse_cli(3, const_cast<char**>(argv), 0),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ParseCliDeath, RejectsNegativeCount) {
+  // strtoull would silently wrap "-1" to ULLONG_MAX; must be refused.
+  const char* argv[] = {"bench", "--trials", "-1"};
+  EXPECT_EXIT(parse_cli(3, const_cast<char**>(argv), 0),
+              ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(ParseCliDeath, RejectsUnknownFormat) {
+  const char* argv[] = {"bench", "--format", "xml"};
+  EXPECT_EXIT(parse_cli(3, const_cast<char**>(argv), 0),
+              ::testing::ExitedWithCode(2), "unknown format");
+}
+
+TEST(ParseCliDeath, HelpExitsZero) {
+  // Usage goes to stdout on --help (stderr stays empty), so only the
+  // exit code is asserted here.
+  const char* argv[] = {"bench", "--help"};
+  EXPECT_EXIT(parse_cli(2, const_cast<char**>(argv), 0),
+              ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace fdb::sim

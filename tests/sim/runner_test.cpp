@@ -1,0 +1,215 @@
+// The ExperimentRunner's load-bearing contract: trial-level determinism
+// means the merged result is bit-identical at any job count. Everything
+// downstream (comparable sweeps across machines, CI reproducibility,
+// perf trajectories) leans on this, so the tests compare doubles with
+// exact equality on purpose.
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/sweep.hpp"
+
+namespace fdb::sim {
+namespace {
+
+LinkSimConfig fast_config(std::uint64_t seed = 42) {
+  LinkSimConfig config;
+  config.modem = core::FdModemConfig::make(/*block_size_bytes=*/4,
+                                           /*samples_per_chip=*/6);
+  config.carrier = "cw";
+  config.fading = "static";
+  config.noise_power_override_w = 3e-9;  // noisy: error counts vary by trial
+  config.seed = seed;
+  return config;
+}
+
+void expect_bit_identical(const LinkSimSummary& a, const LinkSimSummary& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.sync_failures, b.sync_failures);
+  EXPECT_EQ(a.false_syncs, b.false_syncs);
+  EXPECT_EQ(a.data.errors(), b.data.errors());
+  EXPECT_EQ(a.data.trials(), b.data.trials());
+  EXPECT_EQ(a.data_aligned.errors(), b.data_aligned.errors());
+  EXPECT_EQ(a.feedback.errors(), b.feedback.errors());
+  EXPECT_EQ(a.feedback.trials(), b.feedback.trials());
+  // Exact double equality: the merge tree must not depend on jobs.
+  EXPECT_EQ(a.harvested_per_frame_j.count(), b.harvested_per_frame_j.count());
+  EXPECT_EQ(a.harvested_per_frame_j.mean(), b.harvested_per_frame_j.mean());
+  EXPECT_EQ(a.harvested_per_frame_j.variance(),
+            b.harvested_per_frame_j.variance());
+  EXPECT_EQ(a.harvested_per_frame_j.min(), b.harvested_per_frame_j.min());
+  EXPECT_EQ(a.harvested_per_frame_j.max(), b.harvested_per_frame_j.max());
+}
+
+TEST(ExperimentRunner, BitIdenticalAcrossJobCounts) {
+  // The headline contract from the refactor: jobs=1 and jobs=8 produce
+  // bit-identical merged LinkStats for the same seed. 50 trials spans
+  // several chunks so the work genuinely interleaves at jobs=8.
+  const auto config = fast_config();
+  const auto serial = ExperimentRunner(1).run(config, 50, 12);
+  const auto parallel = ExperimentRunner(8).run(config, 50, 12);
+  expect_bit_identical(serial, parallel);
+  EXPECT_EQ(serial.trials, 50u);
+  // The operating point must actually exercise non-trivial outcomes or
+  // the comparison proves nothing.
+  EXPECT_GT(serial.data.errors() + serial.sync_failures, 0u);
+}
+
+TEST(ExperimentRunner, BitIdenticalOnOddChunkBoundaries) {
+  // Trial counts that don't divide into chunks evenly: partial last
+  // chunk must land in the same merge slot at any parallelism.
+  const auto config = fast_config(7);
+  for (const std::size_t trials : {1ul, ExperimentRunner::kTrialsPerChunk - 1,
+                                   ExperimentRunner::kTrialsPerChunk + 1,
+                                   3 * ExperimentRunner::kTrialsPerChunk + 5}) {
+    const auto a = ExperimentRunner(1).run(config, trials, 8);
+    const auto b = ExperimentRunner(5).run(config, trials, 8);
+    expect_bit_identical(a, b);
+    EXPECT_EQ(a.trials, trials);
+  }
+}
+
+TEST(ExperimentRunner, MatchesSerialSimulatorTrialForTrial) {
+  // The runner runs exactly trials [0, n) of the same simulator — the
+  // integer outcome counts must match the serial loop (the Welford
+  // moments may differ in the last bit because the serial loop's
+  // reduction tree is per-trial, not per-chunk).
+  const auto config = fast_config(3);
+  LinkSimulator sim(config);
+  sim.set_payload_bytes(8);
+  const auto serial = sim.run(40);
+  const auto pooled = ExperimentRunner(4).run(config, 40, 8);
+  EXPECT_EQ(serial.trials, pooled.trials);
+  EXPECT_EQ(serial.sync_failures, pooled.sync_failures);
+  EXPECT_EQ(serial.data.errors(), pooled.data.errors());
+  EXPECT_EQ(serial.data.trials(), pooled.data.trials());
+  EXPECT_EQ(serial.feedback.errors(), pooled.feedback.errors());
+  EXPECT_NEAR(serial.harvested_per_frame_j.mean(),
+              pooled.harvested_per_frame_j.mean(), 1e-15);
+}
+
+TEST(ExperimentRunner, RunTrialIsPure) {
+  // Same index twice on one simulator, and the same index on a fresh
+  // simulator, all produce the same outcome.
+  LinkSimulator sim(fast_config(11));
+  sim.set_payload_bytes(8);
+  const auto a = sim.run_trial(17);
+  const auto b = sim.run_trial(17);
+  LinkSimulator sim2(fast_config(11));
+  sim2.set_payload_bytes(8);
+  const auto c = sim2.run_trial(17);
+  EXPECT_EQ(a.data_bit_errors, b.data_bit_errors);
+  EXPECT_EQ(a.harvested_j, b.harvested_j);
+  EXPECT_EQ(a.data_bit_errors, c.data_bit_errors);
+  EXPECT_EQ(a.harvested_j, c.harvested_j);
+  EXPECT_EQ(a.sync_sample, c.sync_sample);
+}
+
+TEST(ExperimentRunner, TrialsDrawDistinctRandomness) {
+  // Different trial indices must not repeat the same exchange.
+  LinkSimulator sim(fast_config(13));
+  sim.set_payload_bytes(8);
+  const auto a = sim.run_trial(0);
+  const auto b = sim.run_trial(1);
+  EXPECT_TRUE(a.harvested_j != b.harvested_j ||
+              a.sync_corr != b.sync_corr);
+}
+
+TEST(ExperimentRunner, BatchKeepsScenarioOrder) {
+  std::vector<Scenario> scenarios;
+  // Vary the ambient-to-B distance: incident power (and therefore
+  // harvested energy) at B falls monotonically with it.
+  for (const double d : {2.0, 5.0, 10.0}) {
+    auto config = fast_config(9);
+    config.ambient_to_b_m = d;
+    scenarios.push_back({config, 10, 8});
+  }
+  const auto serial = ExperimentRunner(1).run_batch(scenarios);
+  const auto parallel = ExperimentRunner(8).run_batch(scenarios);
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_bit_identical(serial[i], parallel[i]);
+  }
+  // Harvested energy falls with distance — confirms slot i really holds
+  // scenario i and not whichever finished first.
+  EXPECT_GT(serial[0].harvested_per_frame_j.mean(),
+            serial[2].harvested_per_frame_j.mean());
+}
+
+TEST(ExperimentRunner, RunSweepMapsAxisToScenarios) {
+  const std::vector<double> axis = {2.0, 8.0};
+  const ExperimentRunner runner(4);
+  const auto summaries = runner.run_sweep<double>(
+      axis, [](const double& d) {
+        auto config = fast_config(21);
+        config.ambient_to_b_m = d;
+        return Scenario{config, 8, 8};
+      });
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].trials, 8u);
+  EXPECT_GT(summaries[0].harvested_per_frame_j.mean(),
+            summaries[1].harvested_per_frame_j.mean());
+}
+
+TEST(ExperimentRunner, MapPreservesIndexOrder) {
+  const ExperimentRunner runner(8);
+  const auto out = runner.map(100, [](std::size_t i) { return 3 * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i);
+}
+
+TEST(ExperimentRunner, MapZeroItems) {
+  const ExperimentRunner runner(4);
+  EXPECT_TRUE(runner.map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(ExperimentRunner, RunZeroTrials) {
+  const auto summary = ExperimentRunner(4).run(fast_config(), 0, 8);
+  EXPECT_EQ(summary.trials, 0u);
+  EXPECT_EQ(summary.data.trials(), 0u);
+}
+
+TEST(ExperimentRunner, PropagatesWorkerExceptions) {
+  const ExperimentRunner runner(4);
+  EXPECT_THROW(runner.map(64,
+                          [](std::size_t i) -> int {
+                            if (i == 40) throw std::runtime_error("boom");
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+struct SumAcc {
+  std::uint64_t sum = 0;
+  void merge(const SumAcc& other) { sum += other.sum; }
+};
+
+TEST(ExperimentRunner, RunChunkedAccumulates) {
+  const ExperimentRunner runner(8);
+  const auto acc = runner.run_chunked<SumAcc>(
+      1000, [](SumAcc& a, std::size_t i) { a.sum += i; });
+  EXPECT_EQ(acc.sum, 999u * 1000u / 2u);
+}
+
+TEST(ExperimentRunner, ZeroJobsSelectsHardware) {
+  EXPECT_GE(ExperimentRunner(0).jobs(), 1u);
+  EXPECT_EQ(ExperimentRunner(3).jobs(), 3u);
+}
+
+TEST(Sweep, ParallelSweepMatchesSerial) {
+  // sweep() is rebuilt on the runner: rows must keep axis order and
+  // match the serial rendering exactly for a pure row function.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::function<std::vector<double>(const double&)> row_fn =
+      [](const double& x) { return std::vector<double>{x, x * x}; };
+  const auto serial = sweep<double>({"x", "x2"}, xs, row_fn);
+  const auto parallel =
+      sweep<double>(ExperimentRunner(4), {"x", "x2"}, xs, row_fn);
+  EXPECT_EQ(serial.render(), parallel.render());
+}
+
+}  // namespace
+}  // namespace fdb::sim

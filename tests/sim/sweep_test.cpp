@@ -23,6 +23,21 @@ TEST(Sweep, LinspaceEndpointsAndStep) {
   EXPECT_DOUBLE_EQ(v[4], 1.0);
 }
 
+TEST(Sweep, DegenerateSpacingEdgeCases) {
+  // Regression: n == 0 and n == 1 used to hit the (n - 1) divisor —
+  // n == 0 must return empty, n == 1 must return {lo} with no division.
+  EXPECT_TRUE(linspace(0.0, 1.0, 0).empty());
+  EXPECT_TRUE(logspace(1e-3, 1.0, 0).empty());
+
+  const auto lin1 = linspace(2.5, 9.0, 1);
+  ASSERT_EQ(lin1.size(), 1u);
+  EXPECT_DOUBLE_EQ(lin1[0], 2.5);
+
+  const auto log1 = logspace(1e-3, 1.0, 1);
+  ASSERT_EQ(log1.size(), 1u);
+  EXPECT_DOUBLE_EQ(log1[0], 1e-3);
+}
+
 TEST(Sweep, SweepBuildsTable) {
   const std::vector<double> xs = {1.0, 2.0, 3.0};
   const auto table = sweep<double>(

@@ -38,6 +38,27 @@ TEST(RunningStats, MergeMatchesCombined) {
   EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
 }
 
+TEST(RunningStats, MergeOfHalvesMatchesConcatenatedStream) {
+  // The contract the sharded trial runner leans on: feeding the first
+  // half into one accumulator, the second half into another, and
+  // merging equals one accumulator fed the concatenated stream —
+  // mean/var to 1e-12, min/max/count exact.
+  Rng rng(41);
+  RunningStats first_half, second_half, concatenated;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(-1.0, 5.0);
+    (i < n / 2 ? first_half : second_half).add(x);
+    concatenated.add(x);
+  }
+  first_half.merge(second_half);
+  EXPECT_EQ(first_half.count(), concatenated.count());
+  EXPECT_NEAR(first_half.mean(), concatenated.mean(), 1e-12);
+  EXPECT_NEAR(first_half.variance(), concatenated.variance(), 1e-12);
+  EXPECT_EQ(first_half.min(), concatenated.min());
+  EXPECT_EQ(first_half.max(), concatenated.max());
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, empty;
   a.add(1.0);
@@ -82,6 +103,35 @@ TEST(ErrorRateCounter, BulkAdd) {
   counter.add(5, 50);
   EXPECT_EQ(counter.errors(), 10u);
   EXPECT_EQ(counter.trials(), 100u);
+}
+
+TEST(ErrorRateCounter, MergeIsExact) {
+  ErrorRateCounter a, b, combined;
+  a.add(3, 40);
+  b.add(7, 60);
+  combined.add(3, 40);
+  combined.add(7, 60);
+  a.merge(b);
+  EXPECT_EQ(a.errors(), combined.errors());
+  EXPECT_EQ(a.trials(), combined.trials());
+  EXPECT_DOUBLE_EQ(a.rate(), 0.1);
+  // Merging an empty counter changes nothing.
+  a.merge(ErrorRateCounter{});
+  EXPECT_EQ(a.errors(), 10u);
+  EXPECT_EQ(a.trials(), 100u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.5);
+  a.add(2.5);
+  b.add(2.5);
+  b.add(9.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+  EXPECT_EQ(a.bin_count(2), 2u);
+  EXPECT_EQ(a.bin_count(9), 1u);
 }
 
 TEST(Histogram, BinsAndClamping) {
