@@ -11,6 +11,8 @@
 // `--format json --output BENCH_e8.json` to refresh the committed perf
 // trajectory.
 #include <chrono>
+#include <cmath>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,6 +29,7 @@
 #include "phy/modem.hpp"
 #include "phy/preamble.hpp"
 #include "phy/slicer.hpp"
+#include "phy/stream_rx.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "util/rng.hpp"
@@ -59,6 +62,61 @@ struct StageResult {
   std::string name;
   std::size_t items_per_rep = 0;
   fdb::RunningStats msps;  // per-repetition throughput, Msamples/s
+};
+
+// Pre-batch reference correlator — the seed's per-sample algorithm,
+// which recomputes the window mean and energy from scratch on every
+// sample with modulo indexing. Kept here (not in the library) as the
+// scalar-loop baseline the batch kernel's speedup is measured against.
+class ScalarRefCorrelator {
+ public:
+  ScalarRefCorrelator(std::vector<float> pattern,
+                      std::size_t samples_per_chip) {
+    for (const float chip : pattern) {
+      for (std::size_t s = 0; s < samples_per_chip; ++s) {
+        stretched_.push_back(chip);
+      }
+    }
+    double mean = 0.0;
+    for (const float v : stretched_) mean += v;
+    mean /= static_cast<double>(stretched_.size());
+    for (auto& v : stretched_) {
+      v -= static_cast<float>(mean);
+      pattern_energy_ += static_cast<double>(v) * v;
+    }
+    window_len_ = stretched_.size();
+    window_.assign(window_len_, 0.0f);
+  }
+
+  float process(float x) {
+    window_[pos_] = x;
+    pos_ = (pos_ + 1) % window_len_;
+    if (filled_ < window_len_) {
+      ++filled_;
+      if (filled_ < window_len_) return 0.0f;
+    }
+    double mean = 0.0;
+    for (const float v : window_) mean += v;
+    mean /= static_cast<double>(window_len_);
+    double dot = 0.0;
+    double energy = 0.0;
+    for (std::size_t i = 0; i < window_len_; ++i) {
+      const double v = window_[(pos_ + i) % window_len_] - mean;
+      dot += v * stretched_[i];
+      energy += v * v;
+    }
+    const double denom = std::sqrt(energy * pattern_energy_);
+    if (denom < 1e-12) return 0.0f;
+    return static_cast<float>(dot / denom);
+  }
+
+ private:
+  std::vector<float> stretched_;
+  double pattern_energy_ = 0.0;
+  std::size_t window_len_ = 0;
+  std::vector<float> window_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
 };
 
 /// One micro-bench stage: `items` samples processed per inner pass,
@@ -119,23 +177,65 @@ int main(int argc, char** argv) {
                         });
     });
   }
-  for (const std::size_t taps : {15ul, 63ul}) {
-    stages.push_back([taps](std::size_t n) {
-      const auto env = random_envelope(4096, 3);
-      fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, taps));
-      std::vector<float> out(env.size());
-      return time_stage("fir_taps" + std::to_string(taps), env.size(), 16, n,
-                        [&] {
-                          fir.process(env, out);
-                          g_sink = g_sink + out[0];
-                        });
+  stages.push_back([](std::size_t n) {
+    const auto env = random_envelope(4096, 3);
+    fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, 15));
+    std::vector<float> out(env.size());
+    return time_stage("fir_taps15", env.size(), 16, n, [&] {
+      fir.process(env, out);
+      g_sink = g_sink + out[0];
     });
-  }
+  });
+  // The 63-tap FIR runs twice: once through the block kernel and once
+  // through the per-sample scalar wrapper — the pair quantifies what
+  // batch processing buys on the same filter.
+  stages.push_back([](std::size_t n) {
+    const auto env = random_envelope(4096, 3);
+    fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, 63));
+    std::vector<float> out(env.size());
+    return time_stage("fir_63tap", env.size(), 16, n, [&] {
+      fir.process(env, out);
+      g_sink = g_sink + out[0];
+    });
+  });
+  stages.push_back([](std::size_t n) {
+    const auto env = random_envelope(4096, 3);
+    fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, 63));
+    return time_stage("fir_63tap_scalar", env.size(), 16, n, [&] {
+      float acc = 0.0f;
+      for (const float x : env) acc += fir.process(x);
+      g_sink = g_sink + acc;
+    });
+  });
+  // Sliding correlator, three ways: the batch kernel (primary API), the
+  // per-sample scalar wrapper, and the seed's recompute-per-sample
+  // reference loop — the headline batch-vs-scalar-baseline ratio.
   stages.push_back([](std::size_t n) {
     const auto env = random_envelope(4096, 4);
     fdb::dsp::SlidingCorrelator corr(
         fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
+    std::vector<float> out(env.size());
     return time_stage("sliding_correlator", env.size(), 16, n, [&] {
+      corr.process(env, out);
+      g_sink = g_sink + out[0];
+    });
+  });
+  stages.push_back([](std::size_t n) {
+    const auto env = random_envelope(4096, 4);
+    fdb::dsp::SlidingCorrelator corr(
+        fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
+    return time_stage("sliding_correlator_scalar_api", env.size(), 16, n,
+                      [&] {
+                        float acc = 0.0f;
+                        for (const float x : env) acc += corr.process(x);
+                        g_sink = g_sink + acc;
+                      });
+  });
+  stages.push_back([](std::size_t n) {
+    const auto env = random_envelope(4096, 4);
+    ScalarRefCorrelator corr(
+        fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
+    return time_stage("sliding_correlator_scalar", env.size(), 4, n, [&] {
       float acc = 0.0f;
       for (const float x : env) acc += corr.process(x);
       g_sink = g_sink + acc;
@@ -207,6 +307,30 @@ int main(int argc, char** argv) {
     });
   });
   stages.push_back([](std::size_t n) {
+    // Streaming receive chain end to end: batch correlation, peak
+    // confirmation, and zero-copy frame decode over a continuous
+    // multi-frame envelope stream.
+    fdb::phy::ModemConfig config;
+    config.rates.samples_per_chip = 6;
+    fdb::phy::BackscatterTx tx(config);
+    std::vector<float> stream(2000, 1.0f);
+    for (int f = 0; f < 4; ++f) {
+      std::vector<std::uint8_t> payload(32, static_cast<std::uint8_t>(f));
+      for (const auto s : tx.modulate_frame(payload)) {
+        stream.push_back(s ? 1.3f : 1.0f);
+      }
+      stream.insert(stream.end(), 1500, 1.0f);
+    }
+    std::size_t frames = 0;
+    fdb::phy::StreamingReceiver receiver(
+        config, [&](const fdb::phy::StreamFrame&) { ++frames; });
+    return time_stage("full_rx_chain", stream.size(), 4, n, [&] {
+      receiver.reset();
+      receiver.process(stream);
+      g_sink = g_sink + static_cast<float>(frames);
+    });
+  });
+  stages.push_back([](std::size_t n) {
     // Engine overhead: source -> moving average -> null sink.
     return time_stage("flowgraph_throughput", 65536, 1, n, [&] {
       fdb::fg::Graph graph;
@@ -237,10 +361,11 @@ int main(int argc, char** argv) {
     sec.add_row({r.name, r.items_per_rep, r.msps.count(), r.msps.mean(),
                  r.msps.ci95_halfwidth(), r.msps.min(), r.msps.max()});
   }
-  report.add_note("Shape check: the per-sample kernels clear a 2 MHz ADC"
-                  " rate with wide margins; the sliding correlator and the"
-                  " whole-frame decode set the chain's floor, and the"
-                  " flowgraph engine costs little over the bare kernels it"
-                  " wraps.");
+  report.add_note("Shape check: every stage clears a 2 MHz ADC rate with"
+                  " margin. sliding_correlator (batch kernel) vs"
+                  " sliding_correlator_scalar (seed per-sample loop) is the"
+                  " headline batch speedup; fir_63tap vs fir_63tap_scalar"
+                  " isolates block-convolution gains on the same filter;"
+                  " full_rx_chain times the streaming receiver end to end.");
   return report.emit(cli) ? 0 : 1;
 }

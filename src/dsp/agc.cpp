@@ -10,24 +10,42 @@ Agc::Agc(float target, float rate) : target_(target), rate_(rate) {
 }
 
 float Agc::process(float x) {
-  const float y = x * gain_;
-  const float err = target_ - std::abs(y);
-  gain_ += rate_ * err;
-  if (gain_ < 1e-6f) gain_ = 1e-6f;
+  float y = 0.0f;
+  process(std::span<const float>(&x, 1), std::span<float>(&y, 1));
   return y;
 }
 
 cf32 Agc::process(cf32 x) {
-  const cf32 y = x * gain_;
-  const float err = target_ - std::abs(y);
-  gain_ += rate_ * err;
-  if (gain_ < 1e-6f) gain_ = 1e-6f;
+  cf32 y{};
+  process(std::span<const cf32>(&x, 1), std::span<cf32>(&y, 1));
   return y;
 }
 
 void Agc::process(std::span<const float> in, std::span<float> out) {
   assert(in.size() == out.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  // Batch kernel: the gain loop carries across the block in a register.
+  float gain = gain_;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float y = in[i] * gain;
+    const float err = target_ - std::abs(y);
+    gain += rate_ * err;
+    if (gain < 1e-6f) gain = 1e-6f;
+    out[i] = y;
+  }
+  gain_ = gain;
+}
+
+void Agc::process(std::span<const cf32> in, std::span<cf32> out) {
+  assert(in.size() == out.size());
+  float gain = gain_;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const cf32 y = in[i] * gain;
+    const float err = target_ - std::abs(y);
+    gain += rate_ * err;
+    if (gain < 1e-6f) gain = 1e-6f;
+    out[i] = y;
+  }
+  gain_ = gain;
 }
 
 void Agc::reset() { gain_ = 1.0f; }

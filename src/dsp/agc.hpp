@@ -14,9 +14,12 @@ class Agc {
   /// loop speed (fraction of the error corrected per sample).
   Agc(float target, float rate);
 
+  /// Scalar paths are thin wrappers over the batch kernels, so chunked
+  /// and sample-at-a-time feeding are bit-identical.
   float process(float x);
   cf32 process(cf32 x);
   void process(std::span<const float> in, std::span<float> out);
+  void process(std::span<const cf32> in, std::span<cf32> out);
 
   float gain() const { return gain_; }
   void reset();

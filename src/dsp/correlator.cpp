@@ -1,9 +1,25 @@
 #include "dsp/correlator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace fdb::dsp {
+namespace {
+
+// Samples appended per compaction cycle; the history buffer holds
+// window_len_-1 + kBlock floats, so the tail memmove amortises to
+// (W-1)/kBlock floats per sample.
+constexpr std::size_t kBlock = 4096;
+
+// The incremental sum/energy are re-derived from the window whenever
+// total_ crosses a multiple of this (power of two). Keyed to the
+// absolute sample count so any chunking of the stream refreshes at the
+// same instants — chunked and scalar feeding stay bit-identical.
+constexpr std::uint64_t kRefreshMask = (1u << 15) - 1;
+
+}  // namespace
 
 SlidingCorrelator::SlidingCorrelator(std::vector<float> pattern,
                                      std::size_t samples_per_chip) {
@@ -22,42 +38,109 @@ SlidingCorrelator::SlidingCorrelator(std::vector<float> pattern,
   for (const float v : stretched_) mean += v;
   mean /= static_cast<double>(stretched_.size());
   pattern_energy_ = 0.0;
+  pattern_sum_ = 0.0;
   for (auto& v : stretched_) {
     v -= static_cast<float>(mean);
     pattern_energy_ += static_cast<double>(v) * v;
+    pattern_sum_ += static_cast<double>(v);
   }
   window_len_ = stretched_.size();
-  window_.assign(window_len_, 0.0f);
+  hist_.assign(window_len_ - 1 + kBlock, 0.0f);
+  cursor_ = window_len_ - 1;
+}
+
+void SlidingCorrelator::compact() {
+  // Move the live history (last W-1 samples) back to the buffer front.
+  std::memmove(hist_.data(), hist_.data() + cursor_ - (window_len_ - 1),
+               (window_len_ - 1) * sizeof(float));
+  cursor_ = window_len_ - 1;
+}
+
+void SlidingCorrelator::refresh_sums(const float* window) {
+  // Re-derive the running sums from the current window; called at fixed
+  // absolute sample counts so it is invariant to chunk boundaries.
+  double s = 0.0, s2 = 0.0;
+  for (std::size_t k = 0; k < window_len_; ++k) {
+    const double v = window[k];
+    s += v;
+    s2 += v * v;
+  }
+  sum_ = s;
+  sumsq_ = s2;
+}
+
+void SlidingCorrelator::process(std::span<const float> in,
+                                std::span<float> out) {
+  assert(in.size() == out.size());
+  const std::size_t w = window_len_;
+  const double inv_w = 1.0 / static_cast<double>(w);
+  std::size_t done = 0;
+  while (done < in.size()) {
+    if (cursor_ >= hist_.size()) compact();
+    const std::size_t take =
+        std::min(in.size() - done, hist_.size() - cursor_);
+    std::copy_n(in.data() + done, take, hist_.data() + cursor_);
+    // base[i .. i+w-1] is the window ending at chunk sample i.
+    const float* base = hist_.data() + cursor_ - (w - 1);
+    float* o = out.data() + done;
+    for (std::size_t i = 0; i < take; ++i) {
+      const double x = base[w - 1 + i];
+      sum_ += x;
+      sumsq_ += x * x;
+      ++total_;
+      float corr = 0.0f;
+      if (total_ >= w) {
+        if ((total_ & kRefreshMask) == 0) refresh_sums(base + i);
+        const double mean = sum_ * inv_w;
+        double energy = sumsq_ - sum_ * mean;
+        if (energy < 0.0) energy = 0.0;
+        const double denom = std::sqrt(energy * pattern_energy_);
+        if (denom >= 1e-12) {
+          // Mean removal folds into the dot product: with p already
+          // (almost) zero-mean, sum((v-mean)*p) = sum(v*p) - mean*sum(p).
+          // Four independent partial sums break the sequential FP chain
+          // so the loop vectorizes under strict FP math; the combine
+          // order is fixed, keeping results deterministic.
+          const float* win = base + i;
+          const float* pat = stretched_.data();
+          double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+          std::size_t k = 0;
+          for (; k + 4 <= w; k += 4) {
+            d0 += static_cast<double>(win[k]) * pat[k];
+            d1 += static_cast<double>(win[k + 1]) * pat[k + 1];
+            d2 += static_cast<double>(win[k + 2]) * pat[k + 2];
+            d3 += static_cast<double>(win[k + 3]) * pat[k + 3];
+          }
+          double dot = (d0 + d1) + (d2 + d3);
+          for (; k < w; ++k) {
+            dot += static_cast<double>(win[k]) * pat[k];
+          }
+          dot -= mean * pattern_sum_;
+          corr = static_cast<float>(dot / denom);
+        }
+      }
+      o[i] = corr;
+      const double oldest = base[i];
+      sum_ -= oldest;
+      sumsq_ -= oldest * oldest;
+    }
+    cursor_ += take;
+    done += take;
+  }
 }
 
 float SlidingCorrelator::process(float x) {
-  window_[pos_] = x;
-  pos_ = (pos_ + 1) % window_len_;
-  if (filled_ < window_len_) {
-    ++filled_;
-    if (filled_ < window_len_) return 0.0f;
-  }
-  // window_[pos_] is the oldest sample; align stretched_[0] with it.
-  double mean = 0.0;
-  for (const float v : window_) mean += v;
-  mean /= static_cast<double>(window_len_);
-
-  double dot = 0.0;
-  double energy = 0.0;
-  for (std::size_t i = 0; i < window_len_; ++i) {
-    const double v = window_[(pos_ + i) % window_len_] - mean;
-    dot += v * stretched_[i];
-    energy += v * v;
-  }
-  const double denom = std::sqrt(energy * pattern_energy_);
-  if (denom < 1e-12) return 0.0f;
-  return static_cast<float>(dot / denom);
+  float y = 0.0f;
+  process(std::span<const float>(&x, 1), std::span<float>(&y, 1));
+  return y;
 }
 
 void SlidingCorrelator::reset() {
-  std::fill(window_.begin(), window_.end(), 0.0f);
-  pos_ = 0;
-  filled_ = 0;
+  std::fill(hist_.begin(), hist_.end(), 0.0f);
+  cursor_ = window_len_ - 1;
+  sum_ = 0.0;
+  sumsq_ = 0.0;
+  total_ = 0;
 }
 
 PeakDetector::PeakDetector(float threshold, std::size_t lockout)

@@ -3,9 +3,17 @@
 // The pattern is a ±1 chip sequence; incoming envelope samples are
 // mean-removed over the correlation window so the detector is invariant
 // to the (large, slowly varying) ambient-carrier DC level.
+//
+// Batch-first: the primary API is process(span, span), which keeps the
+// window in a contiguous history buffer (no modulo indexing) and tracks
+// the window mean and energy incrementally — O(1) bookkeeping plus one
+// contiguous, auto-vectorizable dot product per output sample. The
+// scalar process(x) is a thin wrapper over the batch kernel, so chunked
+// and sample-at-a-time feeding are bit-identical.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,22 +26,44 @@ class SlidingCorrelator {
   SlidingCorrelator(std::vector<float> pattern, std::size_t samples_per_chip);
 
   /// Pushes one envelope sample; returns the normalised correlation in
-  /// [-1, 1] once the window has filled (0 before that).
+  /// [-1, 1] once the window has filled (0 before that, including the
+  /// samples leading up to — but not — the exact-fill sample).
   float process(float x);
 
+  /// Batch kernel: out[i] is the correlation after pushing in[i].
+  /// Arbitrary span lengths; state carries across calls, so splitting a
+  /// stream into chunks of any size yields bit-identical output.
+  void process(std::span<const float> in, std::span<float> out);
+
   /// True once the internal window is full and outputs are meaningful.
-  bool warmed_up() const { return filled_ >= window_len_; }
+  bool warmed_up() const { return total_ >= window_len_; }
 
   std::size_t window_length() const { return window_len_; }
   void reset();
 
  private:
+  void compact();
+  void refresh_sums(const float* window);
+
   std::vector<float> stretched_;  // pattern expanded & mean-removed
   double pattern_energy_ = 0.0;
-  std::size_t window_len_;
-  std::vector<float> window_;
-  std::size_t pos_ = 0;
-  std::size_t filled_ = 0;
+  double pattern_sum_ = 0.0;  // residual DC of the float-rounded pattern
+  std::size_t window_len_ = 0;
+
+  // Contiguous history: hist_[cursor_ - (window_len_-1) .. cursor_) holds
+  // the most recent window_len_-1 samples; incoming blocks append at
+  // cursor_ and the tail is memmoved back to the front only when the
+  // buffer runs out (amortised O(1) per sample).
+  std::vector<float> hist_;
+  std::size_t cursor_ = 0;
+
+  // Incremental window statistics (doubles: float inputs accumulate
+  // exactly enough precision, and a periodic refresh re-derives them
+  // from the window at fixed absolute sample counts to kill drift
+  // without breaking chunk-size invariance).
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  std::uint64_t total_ = 0;  // samples ever pushed (drives warm-up)
 };
 
 /// Peak picker: reports a detection when the correlation exceeds

@@ -1,5 +1,14 @@
 // Streaming FIR filters plus a windowed-sinc designer. The channel model
 // uses FIRs for multipath; the PHY uses them for matched filtering.
+//
+// Batch-first: each filter keeps its delay line as a contiguous history
+// prefix (the GNU Radio scheme — the last num_taps-1 samples sit
+// immediately before the incoming block), so the block convolution runs
+// tap-outer/sample-inner over contiguous memory: the inner loop is
+// element-parallel and auto-vectorizes under strict FP semantics. No
+// circular indexing, no modulo. The scalar process(x) shares the same
+// history buffer and accumulates taps in the same order as the batch
+// kernel, so chunked and sample-at-a-time feeding are bit-identical.
 #pragma once
 
 #include <cstddef>
@@ -11,60 +20,94 @@
 
 namespace fdb::dsp {
 
+namespace detail {
+
+/// Shared contiguous-history block-convolution core. `Tap` is float or
+/// cf32; `Sample` is float or cf32. Accumulation is in `Sample` (same
+/// precision class as the seed per-sample implementation; see
+/// docs/ARCHITECTURE.md for the precision rationale).
+template <typename Tap, typename Sample>
+class BlockFir {
+ public:
+  explicit BlockFir(std::vector<Tap> taps);
+
+  Sample step(Sample x);
+  void run(std::span<const Sample> in, std::span<Sample> out);
+  void reset();
+
+  std::size_t num_taps() const { return taps_.size(); }
+  std::span<const Tap> taps() const { return taps_; }
+
+ private:
+  void compact();
+
+  std::vector<Tap> taps_;   // designer order (taps_[0] hits the newest sample)
+  std::vector<Tap> rtaps_;  // reversed: rtaps_[j] hits history offset j
+  std::vector<Sample> hist_;
+  std::size_t hist_len_ = 0;  // retained history: taps-1 (0 if tapless)
+  std::size_t cursor_ = 0;
+};
+
+extern template class BlockFir<float, float>;
+extern template class BlockFir<float, cf32>;
+extern template class BlockFir<cf32, cf32>;
+
+}  // namespace detail
+
 /// Real-tap FIR operating on real samples. Streaming: keeps history
 /// across process() calls so block boundaries are seamless.
 class FirFilterF {
  public:
-  explicit FirFilterF(std::vector<float> taps);
+  explicit FirFilterF(std::vector<float> taps) : core_(std::move(taps)) {}
 
   /// Filters one sample.
-  float process(float x);
+  float process(float x) { return core_.step(x); }
 
-  /// Filters a block in place semantics: out[i] = filter(in[i]).
-  void process(std::span<const float> in, std::span<float> out);
+  /// Filters a block: out[i] = filter(in[i]).
+  void process(std::span<const float> in, std::span<float> out) {
+    core_.run(in, out);
+  }
 
-  void reset();
-  std::size_t num_taps() const { return taps_.size(); }
-  std::span<const float> taps() const { return taps_; }
+  void reset() { core_.reset(); }
+  std::size_t num_taps() const { return core_.num_taps(); }
+  std::span<const float> taps() const { return core_.taps(); }
 
  private:
-  std::vector<float> taps_;
-  std::vector<float> delay_;
-  std::size_t pos_ = 0;
+  detail::BlockFir<float, float> core_;
 };
 
 /// Real-tap FIR operating on complex samples (e.g. pulse shaping of the
 /// baseband carrier before the channel).
 class FirFilterC {
  public:
-  explicit FirFilterC(std::vector<float> taps);
+  explicit FirFilterC(std::vector<float> taps) : core_(std::move(taps)) {}
 
-  cf32 process(cf32 x);
-  void process(std::span<const cf32> in, std::span<cf32> out);
-  void reset();
-  std::size_t num_taps() const { return taps_.size(); }
+  cf32 process(cf32 x) { return core_.step(x); }
+  void process(std::span<const cf32> in, std::span<cf32> out) {
+    core_.run(in, out);
+  }
+  void reset() { core_.reset(); }
+  std::size_t num_taps() const { return core_.num_taps(); }
 
  private:
-  std::vector<float> taps_;
-  std::vector<cf32> delay_;
-  std::size_t pos_ = 0;
+  detail::BlockFir<float, cf32> core_;
 };
 
 /// Complex-tap FIR on complex samples (multipath channel impulse
 /// responses have complex gains).
 class FirFilterCC {
  public:
-  explicit FirFilterCC(std::vector<cf32> taps);
+  explicit FirFilterCC(std::vector<cf32> taps) : core_(std::move(taps)) {}
 
-  cf32 process(cf32 x);
-  void process(std::span<const cf32> in, std::span<cf32> out);
-  void reset();
-  std::size_t num_taps() const { return taps_.size(); }
+  cf32 process(cf32 x) { return core_.step(x); }
+  void process(std::span<const cf32> in, std::span<cf32> out) {
+    core_.run(in, out);
+  }
+  void reset() { core_.reset(); }
+  std::size_t num_taps() const { return core_.num_taps(); }
 
  private:
-  std::vector<cf32> taps_;
-  std::vector<cf32> delay_;
-  std::size_t pos_ = 0;
+  detail::BlockFir<cf32, cf32> core_;
 };
 
 /// Designs a linear-phase low-pass FIR by the windowed-sinc method.

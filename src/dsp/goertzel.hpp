@@ -21,6 +21,15 @@ class Goertzel {
   double process_block(std::span<const float> block);
   double process_block(std::span<const cf32> block);
 
+  /// Batch kernel: processes `powers.size()` back-to-back blocks
+  /// (`samples.size()` must equal `powers.size() * block_length()`),
+  /// writing one bin power per block. Equivalent to calling
+  /// process_block() per block without the per-call span slicing.
+  void process_blocks(std::span<const float> samples,
+                      std::span<double> powers);
+  void process_blocks(std::span<const cf32> samples,
+                      std::span<double> powers);
+
   std::size_t block_length() const { return block_len_; }
 
  private:

@@ -19,13 +19,23 @@ OnePole OnePole::from_cutoff(double cutoff_hz, double sample_rate_hz) {
 }
 
 float OnePole::process(float x) {
-  y_ = static_cast<float>(alpha_ * x + (1.0 - alpha_) * y_);
-  return y_;
+  float y = 0.0f;
+  process(std::span<const float>(&x, 1), std::span<float>(&y, 1));
+  return y;
 }
 
 void OnePole::process(std::span<const float> in, std::span<float> out) {
   assert(in.size() == out.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  // Batch kernel: the recurrence runs on registers, state is written
+  // back once. Safe for in-place use (in.data() == out.data()).
+  const double a = alpha_;
+  const double b = 1.0 - alpha_;
+  float y = y_;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    y = static_cast<float>(a * in[i] + b * y);
+    out[i] = y;
+  }
+  y_ = y;
 }
 
 void OnePole::reset(float value) { y_ = value; }
@@ -69,17 +79,29 @@ Biquad Biquad::dc_blocker(double sample_rate_hz, double cutoff_hz) {
 }
 
 float Biquad::process(float x) {
-  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
-  x2_ = x1_;
-  x1_ = x;
-  y2_ = y1_;
-  y1_ = y;
-  return static_cast<float>(y);
+  float y = 0.0f;
+  process(std::span<const float>(&x, 1), std::span<float>(&y, 1));
+  return y;
 }
 
 void Biquad::process(std::span<const float> in, std::span<float> out) {
   assert(in.size() == out.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  // Batch kernel: direct-form-I state lives in registers across the
+  // block. Safe for in-place use.
+  double x1 = x1_, x2 = x2_, y1 = y1_, y2 = y2_;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double x = in[i];
+    const double y = b0_ * x + b1_ * x1 + b2_ * x2 - a1_ * y1 - a2_ * y2;
+    x2 = x1;
+    x1 = x;
+    y2 = y1;
+    y1 = y;
+    out[i] = static_cast<float>(y);
+  }
+  x1_ = x1;
+  x2_ = x2;
+  y1_ = y1;
+  y2_ = y2;
 }
 
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }

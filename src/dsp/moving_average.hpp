@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace fdb::dsp {
@@ -20,14 +21,36 @@ class MovingAverage {
   }
 
   /// Pushes a sample, returns the average over the most recent
-  /// min(window, pushed) samples.
+  /// min(window, pushed) samples. Thin wrapper over the batch kernel,
+  /// so chunked and sample-at-a-time feeding are bit-identical.
   T process(T x) {
-    sum_ += x;
-    sum_ -= buffer_[pos_];
-    buffer_[pos_] = x;
-    pos_ = (pos_ + 1) % window_;
-    if (filled_ < window_) ++filled_;
-    return sum_ / static_cast<T>(filled_);
+    T y{};
+    process(std::span<const T>(&x, 1), std::span<T>(&y, 1));
+    return y;
+  }
+
+  /// Batch kernel: out[i] is the average after pushing in[i]. The warm-up
+  /// prologue peels off so the steady-state loop carries no fill check,
+  /// and the ring index uses a conditional wrap instead of `%`.
+  void process(std::span<const T> in, std::span<T> out) {
+    assert(in.size() == out.size());
+    std::size_t i = 0;
+    for (; i < in.size() && filled_ < window_; ++i) {
+      sum_ += in[i];
+      sum_ -= buffer_[pos_];
+      buffer_[pos_] = in[i];
+      if (++pos_ == window_) pos_ = 0;
+      ++filled_;
+      out[i] = sum_ / static_cast<T>(filled_);
+    }
+    const T full = static_cast<T>(window_);
+    for (; i < in.size(); ++i) {
+      sum_ += in[i];
+      sum_ -= buffer_[pos_];
+      buffer_[pos_] = in[i];
+      if (++pos_ == window_) pos_ = 0;
+      out[i] = sum_ / full;
+    }
   }
 
   T value() const {

@@ -11,10 +11,13 @@ Decimator::Decimator(std::size_t factor, std::size_t taps)
 }
 
 void Decimator::process(std::span<const float> in, std::vector<float>& out) {
-  for (const float x : in) {
-    const float y = filter_.process(x);
+  // Batch: filter the whole block through the FIR's block kernel, then
+  // keep every factor-th sample of the filtered stream.
+  scratch_.resize(in.size());
+  filter_.process(in, scratch_);
+  for (const float y : scratch_) {
     if (phase_ == 0) out.push_back(y);
-    phase_ = (phase_ + 1) % factor_;
+    if (++phase_ == factor_) phase_ = 0;
   }
 }
 
@@ -31,13 +34,17 @@ Interpolator::Interpolator(std::size_t factor, std::size_t taps)
 
 void Interpolator::process(std::span<const float> in,
                            std::vector<float>& out) {
-  for (const float x : in) {
-    // Zero-stuff then filter; gain of `factor` restores amplitude.
-    out.push_back(filter_.process(x * static_cast<float>(factor_)));
-    for (std::size_t k = 1; k < factor_; ++k) {
-      out.push_back(filter_.process(0.0f));
-    }
+  // Zero-stuff the whole block (gain of `factor` restores amplitude),
+  // then run one batch convolution over the stuffed stream.
+  scratch_.assign(in.size() * factor_, 0.0f);
+  const auto gain = static_cast<float>(factor_);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    scratch_[i * factor_] = in[i] * gain;
   }
+  const std::size_t start = out.size();
+  out.resize(start + scratch_.size());
+  filter_.process(scratch_,
+                  std::span<float>(out.data() + start, scratch_.size()));
 }
 
 void Interpolator::reset() { filter_.reset(); }

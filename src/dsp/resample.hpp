@@ -26,6 +26,7 @@ class Decimator {
   std::size_t factor_;
   FirFilterF filter_;
   std::size_t phase_ = 0;
+  std::vector<float> scratch_;
 };
 
 /// Zero-stuffing interpolator with image-rejection low-pass.
@@ -40,6 +41,7 @@ class Interpolator {
  private:
   std::size_t factor_;
   FirFilterF filter_;
+  std::vector<float> scratch_;
 };
 
 /// Sample-and-hold upsampler for chip streams (each chip held for

@@ -185,7 +185,25 @@ MovingAverageBlockF::MovingAverageBlockF(std::size_t window)
 
 void MovingAverageBlockF::process_chunk(std::span<const float> in,
                                         std::span<float> out) {
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = avg_.process(in[i]);
+  avg_.process(in, out);
+}
+
+AgcBlockF::AgcBlockF(float target, float rate)
+    : SyncBlockF("agc_f"), agc_(target, rate) {}
+
+void AgcBlockF::process_chunk(std::span<const float> in,
+                              std::span<float> out) {
+  agc_.process(in, out);
+}
+
+CorrelatorBlockF::CorrelatorBlockF(std::vector<float> pattern,
+                                   std::size_t samples_per_chip)
+    : SyncBlockF("correlator_f"),
+      corr_(std::move(pattern), samples_per_chip) {}
+
+void CorrelatorBlockF::process_chunk(std::span<const float> in,
+                                     std::span<float> out) {
+  corr_.process(in, out);
 }
 
 KeepOneInN::KeepOneInN(std::size_t n)

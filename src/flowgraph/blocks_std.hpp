@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "dsp/agc.hpp"
+#include "dsp/correlator.hpp"
 #include "dsp/envelope.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/moving_average.hpp"
@@ -128,7 +130,8 @@ class EnvelopeBlock : public Block {
   dsp::EnvelopeDetector detector_;
 };
 
-/// Moving average block (float).
+/// Moving average block (float); forwards whole chunks to the batch
+/// kernel.
 class MovingAverageBlockF : public SyncBlockF {
  public:
   explicit MovingAverageBlockF(std::size_t window);
@@ -138,6 +141,32 @@ class MovingAverageBlockF : public SyncBlockF {
 
  private:
   dsp::MovingAverage<float> avg_;
+};
+
+/// Feedback AGC block (float), batch kernel per chunk.
+class AgcBlockF : public SyncBlockF {
+ public:
+  AgcBlockF(float target, float rate);
+
+ protected:
+  void process_chunk(std::span<const float> in, std::span<float> out) override;
+
+ private:
+  dsp::Agc agc_;
+};
+
+/// Sliding preamble correlator block: envelope in, normalised
+/// correlation out (1:1), batch kernel per chunk. Pair with a peak
+/// picker downstream to build a flowgraph acquisition chain.
+class CorrelatorBlockF : public SyncBlockF {
+ public:
+  CorrelatorBlockF(std::vector<float> pattern, std::size_t samples_per_chip);
+
+ protected:
+  void process_chunk(std::span<const float> in, std::span<float> out) override;
+
+ private:
+  dsp::SlidingCorrelator corr_;
 };
 
 /// Keep-1-in-M decimator (float), no anti-alias filter (pair with

@@ -12,7 +12,9 @@ FrameSinkBlock::FrameSinkBlock(ModemConfig config)
 
 fg::WorkStatus FrameSinkBlock::work(fg::WorkContext& ctx) {
   auto& in = ctx.in(0);
-  constexpr std::size_t kChunk = 1024;
+  // Matches the receiver's internal batch granularity so each work()
+  // call hands the batch receive chain one full-sized chunk.
+  constexpr std::size_t kChunk = 4096;
   const std::size_t n = std::min(in.readable(), kChunk);
   if (n == 0) {
     return ctx.inputs_finished() ? fg::WorkStatus::kDone

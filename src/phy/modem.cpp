@@ -74,22 +74,25 @@ std::optional<std::size_t> BackscatterRx::find_sync(
                                     spc / stride);
   const std::size_t strided_len = envelope.size() / stride;
   std::vector<float> corr(strided_len);
-  float best_abs = -2.0f;
   // With long chips the raw envelope fluctuates far more than the
   // backscatter swing (ambient OFDM carriers especially); average over
   // half a chip before striding. Half, not whole: a full-chip boxcar
   // has its first null exactly at the chip rate and would erase the
   // alternating preamble.
+  //
+  // Whole-capture batch chain: smooth everything with the moving
+  // average's block kernel, gather the strided subsample, then run the
+  // correlator's block kernel over it — no per-sample call overhead.
   dsp::MovingAverage<float> prefilter(stride > 1 ? spc / 2 : 1);
-  std::size_t fed = 0;
-  for (std::size_t i = 0; i < envelope.size(); ++i) {
-    const float smoothed = prefilter.process(envelope[i]);
-    if (i % stride == stride - 1 && fed < strided_len) {
-      corr[fed] = correlator.process(smoothed);
-      best_abs = std::max(best_abs, std::abs(corr[fed]));
-      ++fed;
-    }
+  std::vector<float> smoothed(envelope.size());
+  prefilter.process(envelope, smoothed);
+  std::vector<float> strided(strided_len);
+  for (std::size_t j = 0; j < strided_len; ++j) {
+    strided[j] = smoothed[j * stride + stride - 1];
   }
+  correlator.process(strided, corr);
+  float best_abs = -2.0f;
+  for (const float c : corr) best_abs = std::max(best_abs, std::abs(c));
   if (best_abs < config_.sync_threshold) {
     if (corr_out != nullptr) *corr_out = 0.0f;
     return std::nullopt;

@@ -1,6 +1,8 @@
 #include "phy/stream_rx.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/bits.hpp"
 #include "util/crc.hpp"
@@ -8,6 +10,21 @@
 
 namespace fdb::phy {
 namespace {
+
+// Sub-chunk granularity for the batch path: bounds the correlation
+// scratch and keeps the history buffer from ballooning while searching.
+constexpr std::size_t kBlock = 4096;
+
+// Correlation runs lazily in sub-blocks of this size while searching:
+// once a peak confirms, correlator state is discarded, so correlating a
+// whole 4096-sample span up front would waste up to a span of O(W)
+// window dots per acquisition (and re-correlate the tail after the
+// frame). A peak costs at most kSearchBlock-1 discarded outputs.
+constexpr std::size_t kSearchBlock = 512;
+
+// Once the dead prefix ahead of head_ exceeds this and dominates the
+// live samples, the storage is compacted (amortised O(1) per sample).
+constexpr std::size_t kCompactSlack = 4096;
 
 // Header = length(8) + crc8(8) bits -> chips -> samples, plus margin
 // for the slicer's chip alignment.
@@ -30,64 +47,109 @@ StreamingReceiver::StreamingReceiver(ModemConfig config, FrameHandler handler)
   history_cap_ = preamble + 8 * config_.rates.samples_per_chip;
 }
 
+void StreamingReceiver::append_history(std::span<const float> chunk) {
+  if (head_ > kCompactSlack && head_ * 2 >= buf_.size() + chunk.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+void StreamingReceiver::drop_history_front(std::uint64_t new_start) {
+  assert(new_start >= history_start_);
+  assert(new_start - history_start_ <= history_size());
+  head_ += static_cast<std::size_t>(new_start - history_start_);
+  history_start_ = new_start;
+}
+
 void StreamingReceiver::process(std::span<const float> samples) {
-  for (const float s : samples) feed(s);
-}
-
-void StreamingReceiver::abandon_sync() {
-  state_ = State::kSearching;
-  history_.clear();
-  history_start_ = position_;
-  correlator_.reset();
-  peaks_.reset();
-  detector_base_ = position_;
-}
-
-void StreamingReceiver::feed(float sample) {
-  history_.push_back(sample);
-  const std::uint64_t abs_index = position_++;
-
-  if (state_ == State::kSearching) {
-    while (history_.size() > history_cap_) {
-      history_.pop_front();
-      ++history_start_;
+  std::size_t off = 0;
+  while (off < samples.size()) {
+    const std::size_t n = std::min(kBlock, samples.size() - off);
+    const auto chunk = samples.subspan(off, n);
+    // History gets every sample exactly once, in bulk; the state machine
+    // below only decides how the already-buffered samples are consumed.
+    append_history(chunk);
+    std::size_t i = 0;
+    while (i < n) {
+      i = state_ == State::kSearching ? search_span(chunk, i)
+                                      : collect_span(chunk, i);
     }
-    const float corr = correlator_.process(sample);
+    off += n;
+  }
+}
+
+std::size_t StreamingReceiver::search_span(std::span<const float> chunk,
+                                           std::size_t i) {
+  const std::size_t m = std::min(chunk.size() - i, kSearchBlock);
+  corr_.resize(m);
+  correlator_.process(chunk.subspan(i, m),
+                      std::span<float>(corr_.data(), m));
+  const std::size_t preamble =
+      default_preamble_length() * config_.rates.samples_per_chip;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint64_t abs_index = position_++;
     // Magnitude: polarity-inverted frames still acquire (FM0 decodes
     // either way).
-    const auto peak = peaks_.process(std::abs(corr));
-    if (!peak.has_value()) return;
+    const auto peak = peaks_.process(std::abs(corr_[j]));
+    if (!peak.has_value()) continue;
 
     // PeakDetector indexes from its last reset; map to stream position.
     const std::uint64_t peak_abs = detector_base_ + *peak;
-    const std::size_t preamble =
-        default_preamble_length() * config_.rates.samples_per_chip;
-    if (peak_abs + 1 < preamble + history_start_) {
-      return;  // not enough context retained; keep searching
+    // Retained-history floor at this sample: the per-sample trim of the
+    // scalar path, computed against absolute positions instead.
+    std::uint64_t floor = search_start_;
+    if (abs_index + 1 > history_cap_ &&
+        abs_index + 1 - history_cap_ > floor) {
+      floor = abs_index + 1 - history_cap_;
+    }
+    if (floor > history_start_) drop_history_front(floor);
+    if (peak_abs + 1 < preamble + floor) {
+      continue;  // not enough context retained; keep searching
     }
     // Trim history so it starts at the preamble.
-    const std::uint64_t preamble_start = peak_abs + 1 - preamble;
-    while (history_start_ < preamble_start && !history_.empty()) {
-      history_.pop_front();
-      ++history_start_;
-    }
+    drop_history_front(peak_abs + 1 - preamble);
     sync_sample_ = peak_abs;
-    sync_corr_ = corr;
+    sync_corr_ = corr_[j];
     body_target_ = header_samples(config_);
     state_ = State::kCollecting;
-    return;
+    return i + j + 1;
   }
+  // No confirmed peak in this sub-block: enforce the retention cap once
+  // for the scanned range (equivalent to the scalar per-sample trim,
+  // since no decision consulted the history meanwhile).
+  std::uint64_t floor = search_start_;
+  if (position_ > history_cap_ && position_ - history_cap_ > floor) {
+    floor = position_ - history_cap_;
+  }
+  if (floor > history_start_) drop_history_front(floor);
+  return i + m;
+}
 
-  // Collecting: accumulate until the current target is reached.
-  if (abs_index >= sync_sample_ + body_target_) {
+std::size_t StreamingReceiver::collect_span(std::span<const float> chunk,
+                                            std::size_t i) {
+  const std::uint64_t target = sync_sample_ + body_target_;
+  if (position_ > target) {
     try_decode();
+    return i;
   }
+  const std::uint64_t needed = target + 1 - position_;
+  const std::size_t take = static_cast<std::size_t>(
+      std::min<std::uint64_t>(needed, chunk.size() - i));
+  position_ += take;
+  if (position_ == target + 1) try_decode();
+  return i + take;
 }
 
 void StreamingReceiver::try_decode() {
-  // Materialise the capture [preamble_start, now) and lean on the burst
-  // modem: the capture holds exactly one frame candidate.
-  std::vector<float> capture(history_.begin(), history_.end());
+  // The capture [preamble_start, position_) is a zero-copy view of the
+  // history buffer; lean on the burst modem: it holds exactly one frame
+  // candidate.
+  assert(position_ >= history_start_);
+  const auto len = static_cast<std::size_t>(position_ - history_start_);
+  assert(len <= history_size());
+  const std::span<const float> capture(buf_.data() + head_, len);
   BackscatterRx rx(config_);
 
   // First pass: do we know the frame length yet?
@@ -98,16 +160,16 @@ void StreamingReceiver::try_decode() {
     abandon_sync();
     return;
   }
-  const auto len = static_cast<std::uint8_t>(read_bits(*header_bits, 0, 8));
+  const auto len8 = static_cast<std::uint8_t>(read_bits(*header_bits, 0, 8));
   const auto hdr_crc =
       static_cast<std::uint8_t>(read_bits(*header_bits, 8, 8));
-  if (crc8({&len, 1}) != hdr_crc) {
+  if (crc8({&len8, 1}) != hdr_crc) {
     log_debug("stream_rx: header CRC failed, dropping sync");
     abandon_sync();
     return;
   }
 
-  const std::size_t body = (2 * frame_bits_for_payload(len) + 4) *
+  const std::size_t body = (2 * frame_bits_for_payload(len8) + 4) *
                            config_.rates.samples_per_chip;
   if (body > body_target_) {
     // Header parsed: now we know how much more to collect.
@@ -128,10 +190,28 @@ void StreamingReceiver::try_decode() {
   abandon_sync();
 }
 
+void StreamingReceiver::abandon_sync() {
+  state_ = State::kSearching;
+  // Samples at or past the current position stay buffered: in the batch
+  // path they may already have been appended and will be consumed by the
+  // search that resumes right here.
+  drop_history_front(position_);
+  correlator_.reset();
+  peaks_.reset();
+  detector_base_ = position_;
+  search_start_ = position_;
+}
+
 void StreamingReceiver::reset() {
-  abandon_sync();
+  state_ = State::kSearching;
+  correlator_.reset();
+  peaks_.reset();
+  buf_.clear();
+  head_ = 0;
+  corr_.clear();
   position_ = 0;
   history_start_ = 0;
+  search_start_ = 0;
   detector_base_ = 0;
   frames_ = 0;
   sync_sample_ = 0;

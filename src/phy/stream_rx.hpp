@@ -3,10 +3,17 @@
 // capture, StreamingReceiver runs a search->decode state machine with
 // bounded memory, suitable for live operation behind an envelope
 // detector (or as a flowgraph sink — see fg::FrameSinkBlock).
+//
+// Batch receive path: process(span) appends each chunk to a contiguous
+// history buffer once, runs the preamble correlator's batch kernel over
+// whole sub-chunks (no per-sample virtual dispatch, no deque churn), and
+// hands the demodulator a zero-copy span of that same buffer when a
+// frame completes. Because the correlator is chunk-size invariant and
+// all trim decisions are made against absolute stream positions, any
+// chunking of the input produces bit-identical frames.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
@@ -44,9 +51,23 @@ class StreamingReceiver {
  private:
   enum class State { kSearching, kCollecting };
 
-  void feed(float sample);
+  /// Correlates chunk[i..] in one batch and scans for a confirmed peak.
+  /// Returns the index one past the last consumed chunk sample.
+  std::size_t search_span(std::span<const float> chunk, std::size_t i);
+
+  /// Consumes collecting-state samples in bulk up to the decode target.
+  std::size_t collect_span(std::span<const float> chunk, std::size_t i);
+
   void try_decode();
   void abandon_sync();
+
+  // --- contiguous history ------------------------------------------------
+  // buf_[head_..] holds samples [history_start_, history_start_ + size).
+  // Appends are bulk copies; front drops advance head_ and the storage is
+  // compacted only when the dead prefix dominates (amortised O(1)).
+  void append_history(std::span<const float> chunk);
+  void drop_history_front(std::uint64_t new_start);
+  std::size_t history_size() const { return buf_.size() - head_; }
 
   ModemConfig config_;
   FrameHandler handler_;
@@ -56,11 +77,13 @@ class StreamingReceiver {
   std::uint64_t position_ = 0;
   std::uint64_t frames_ = 0;
 
-  // Rolling history long enough to re-slice from the preamble once a
-  // peak confirms, plus the frame body as it streams in.
-  std::deque<float> history_;
-  std::size_t history_cap_;
-  std::uint64_t history_start_ = 0;  // absolute index of history_[0]
+  std::vector<float> buf_;
+  std::size_t head_ = 0;
+  std::uint64_t history_start_ = 0;  // absolute index of buf_[head_]
+  std::vector<float> corr_;          // batch correlation scratch
+
+  std::size_t history_cap_;          // retained history while searching
+  std::uint64_t search_start_ = 0;   // history_start_ when search began
   std::uint64_t detector_base_ = 0;  // abs position at last peak reset
   std::uint64_t sync_sample_ = 0;    // absolute peak position
   float sync_corr_ = 0.0f;

@@ -1,0 +1,235 @@
+// Batch-vs-scalar equivalence for every dsp kernel: feeding one stream
+// sample-at-a-time through process(x) and feeding the identical stream
+// through process(span) in randomized chunk sizes (including chunk==1
+// and chunk > window/taps) must produce bit-identical outputs. The
+// scalar paths are thin wrappers over the batch kernels, and the batch
+// kernels key any internal bookkeeping (history compaction, accumulator
+// refresh) to absolute sample counts, so this holds exactly — no ulp
+// tolerance needed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "dsp/agc.hpp"
+#include "dsp/correlator.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/goertzel.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/moving_average.hpp"
+#include "phy/preamble.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fdb::dsp {
+namespace {
+
+/// Random chunk sizes covering the edge cases: lots of 1s, sizes below
+/// and above typical window/tap counts, and a jumbo chunk bigger than
+/// the kernels' internal 4096-sample blocks.
+std::vector<std::size_t> random_chunks(std::size_t total, Rng& rng) {
+  static constexpr std::size_t kPalette[] = {1,  1,  2,  3,   5,   17,
+                                             64, 91, 256, 1024, 5000};
+  std::vector<std::size_t> chunks;
+  std::size_t left = total;
+  while (left > 0) {
+    std::size_t n = kPalette[rng.uniform_int(std::size(kPalette))];
+    n = std::min(n, left);
+    chunks.push_back(n);
+    left -= n;
+  }
+  return chunks;
+}
+
+std::vector<float> random_stream(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = 1.0f + 0.25f * static_cast<float>(rng.normal());
+  return x;
+}
+
+std::vector<cf32> random_stream_c(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cf32> x(n);
+  for (auto& v : x) v = rng.cn(1.0);
+  return x;
+}
+
+/// Drives two identically-constructed kernels over the same float
+/// stream — one scalar, one chunked — and asserts bit-identity.
+template <typename Kernel>
+void expect_float_kernel_equivalent(Kernel scalar_k, Kernel batch_k,
+                                    std::size_t total, std::uint64_t seed) {
+  const auto in = random_stream(total, seed);
+  std::vector<float> ref(total), out(total);
+  for (std::size_t i = 0; i < total; ++i) ref[i] = scalar_k.process(in[i]);
+  Rng chunk_rng(seed ^ 0xc0ffee);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(total, chunk_rng)) {
+    batch_k.process(std::span<const float>(in.data() + pos, n),
+                    std::span<float>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(ref[i], out[i]) << "diverged at sample " << i;
+  }
+}
+
+TEST(BatchEquivalence, MovingAverageFloat) {
+  expect_float_kernel_equivalent(MovingAverage<float>(17),
+                                 MovingAverage<float>(17), 6000, 11);
+}
+
+TEST(BatchEquivalence, MovingAverageDouble) {
+  MovingAverage<double> scalar(64), batch(64);
+  const auto inf = random_stream(5000, 12);
+  std::vector<double> in(inf.begin(), inf.end());
+  std::vector<double> ref(in.size()), out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) ref[i] = scalar.process(in[i]);
+  Rng chunk_rng(99);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(in.size(), chunk_rng)) {
+    batch.process(std::span<const double>(in.data() + pos, n),
+                  std::span<double>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_EQ(ref[i], out[i]);
+}
+
+TEST(BatchEquivalence, OnePole) {
+  expect_float_kernel_equivalent(OnePole(0.05), OnePole(0.05), 6000, 13);
+}
+
+TEST(BatchEquivalence, Biquad) {
+  expect_float_kernel_equivalent(Biquad::lowpass(500.0, 48000.0),
+                                 Biquad::lowpass(500.0, 48000.0), 6000, 14);
+}
+
+TEST(BatchEquivalence, Agc) {
+  expect_float_kernel_equivalent(Agc(1.0f, 0.01f), Agc(1.0f, 0.01f), 6000,
+                                 15);
+}
+
+TEST(BatchEquivalence, FirFilterF) {
+  const auto taps = design_lowpass(0.2, 63);
+  expect_float_kernel_equivalent(FirFilterF(taps), FirFilterF(taps), 9000,
+                                 16);
+}
+
+TEST(BatchEquivalence, SlidingCorrelator) {
+  // Long enough to cross the correlator's internal accumulator-refresh
+  // boundary (2^15 samples) and several history compactions.
+  const auto pattern = phy::chips_to_pattern(phy::barker13_chips());
+  expect_float_kernel_equivalent(SlidingCorrelator(pattern, 4),
+                                 SlidingCorrelator(pattern, 4), 70000, 17);
+}
+
+TEST(BatchEquivalence, EnvelopeDetector) {
+  EnvelopeDetector scalar(100e3, 2e6), batch(100e3, 2e6);
+  const auto in = random_stream_c(6000, 18);
+  std::vector<float> ref(in.size()), out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) ref[i] = scalar.process(in[i]);
+  Rng chunk_rng(18);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(in.size(), chunk_rng)) {
+    batch.process(std::span<const cf32>(in.data() + pos, n),
+                  std::span<float>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_EQ(ref[i], out[i]);
+}
+
+TEST(BatchEquivalence, SquareLawDetector) {
+  SquareLawDetector scalar(100e3, 2e6), batch(100e3, 2e6);
+  const auto in = random_stream_c(6000, 19);
+  std::vector<float> ref(in.size()), out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) ref[i] = scalar.process(in[i]);
+  Rng chunk_rng(19);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(in.size(), chunk_rng)) {
+    batch.process(std::span<const cf32>(in.data() + pos, n),
+                  std::span<float>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_EQ(ref[i], out[i]);
+}
+
+TEST(BatchEquivalence, AgcComplex) {
+  Agc scalar(1.0f, 0.01f), batch(1.0f, 0.01f);
+  const auto in = random_stream_c(6000, 20);
+  std::vector<cf32> ref(in.size()), out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) ref[i] = scalar.process(in[i]);
+  Rng chunk_rng(20);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(in.size(), chunk_rng)) {
+    batch.process(std::span<const cf32>(in.data() + pos, n),
+                  std::span<cf32>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(ref[i].real(), out[i].real()) << i;
+    ASSERT_EQ(ref[i].imag(), out[i].imag()) << i;
+  }
+}
+
+TEST(BatchEquivalence, FirFilterC) {
+  const auto taps = design_lowpass(0.15, 31);
+  FirFilterC scalar(taps), batch(taps);
+  const auto in = random_stream_c(6000, 21);
+  std::vector<cf32> ref(in.size()), out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) ref[i] = scalar.process(in[i]);
+  Rng chunk_rng(21);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(in.size(), chunk_rng)) {
+    batch.process(std::span<const cf32>(in.data() + pos, n),
+                  std::span<cf32>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(ref[i].real(), out[i].real()) << i;
+    ASSERT_EQ(ref[i].imag(), out[i].imag()) << i;
+  }
+}
+
+TEST(BatchEquivalence, FirFilterCC) {
+  Rng tap_rng(22);
+  std::vector<cf32> taps(9);
+  for (auto& t : taps) t = tap_rng.cn(0.5);
+  FirFilterCC scalar(taps), batch(taps);
+  const auto in = random_stream_c(6000, 23);
+  std::vector<cf32> ref(in.size()), out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) ref[i] = scalar.process(in[i]);
+  Rng chunk_rng(23);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(in.size(), chunk_rng)) {
+    batch.process(std::span<const cf32>(in.data() + pos, n),
+                  std::span<cf32>(out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(ref[i].real(), out[i].real()) << i;
+    ASSERT_EQ(ref[i].imag(), out[i].imag()) << i;
+  }
+}
+
+TEST(BatchEquivalence, GoertzelBlocks) {
+  const double fs = 8000.0;
+  const std::size_t block = 160;
+  const std::size_t nblocks = 25;
+  Goertzel a(500.0, fs, block), b(500.0, fs, block);
+  const auto in = random_stream(block * nblocks, 24);
+  std::vector<double> ref(nblocks), out(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    ref[k] = a.process_block(
+        std::span<const float>(in.data() + k * block, block));
+  }
+  b.process_blocks(in, out);
+  for (std::size_t k = 0; k < nblocks; ++k) ASSERT_EQ(ref[k], out[k]);
+}
+
+}  // namespace
+}  // namespace fdb::dsp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "phy/preamble.hpp"
@@ -74,6 +76,57 @@ TEST(SlidingCorrelator, NotWarmedUpReturnsZero) {
   SlidingCorrelator corr({1.0f, -1.0f}, 4);
   EXPECT_FLOAT_EQ(corr.process(1.0f), 0.0f);
   EXPECT_FALSE(corr.warmed_up());
+}
+
+TEST(SlidingCorrelator, ExactFillSampleProducesCorrelation) {
+  // The sample that completes the window must yield a real correlation,
+  // not a second warm-up zero: with pattern {+1,-1} at 2 samples/chip
+  // (window 4), the aligned input {1,1,0,0} correlates to exactly 1.0
+  // on the fourth sample.
+  SlidingCorrelator corr({1.0f, -1.0f}, 2);
+  EXPECT_FLOAT_EQ(corr.process(1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(corr.process(1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(corr.process(0.0f), 0.0f);
+  EXPECT_FALSE(corr.warmed_up());
+  EXPECT_NEAR(corr.process(0.0f), 1.0f, 1e-6f);
+  EXPECT_TRUE(corr.warmed_up());
+}
+
+TEST(SlidingCorrelator, BatchMatchesScalarAcrossSeams) {
+  // The batch kernel must be seamless across calls: correlate a signal
+  // split at awkward boundaries and compare to one whole-capture call.
+  const auto pattern = phy::chips_to_pattern(phy::barker13_chips());
+  SlidingCorrelator whole(pattern, 3), split(pattern, 3);
+  Rng rng(17);
+  std::vector<float> signal(2000);
+  for (auto& s : signal) s = static_cast<float>(rng.uniform());
+  std::vector<float> ref(signal.size()), out(signal.size());
+  whole.process(signal, ref);
+  const std::size_t cuts[] = {1, 38, 39, 500, 1};
+  std::size_t pos = 0, c = 0;
+  while (pos < signal.size()) {
+    const std::size_t n = std::min(cuts[c % 5], signal.size() - pos);
+    split.process(std::span<const float>(signal.data() + pos, n),
+                  std::span<float>(out.data() + pos, n));
+    pos += n;
+    ++c;
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    ASSERT_EQ(ref[i], out[i]) << "seam divergence at " << i;
+  }
+}
+
+TEST(SlidingCorrelator, ResetRestartsWarmup) {
+  const auto pattern = phy::chips_to_pattern(phy::barker11_chips());
+  SlidingCorrelator corr(pattern, 2);
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    corr.process(static_cast<float>(rng.uniform()));
+  }
+  EXPECT_TRUE(corr.warmed_up());
+  corr.reset();
+  EXPECT_FALSE(corr.warmed_up());
+  EXPECT_FLOAT_EQ(corr.process(0.7f), 0.0f);
 }
 
 TEST(PeakDetector, ReportsPeakAfterLockout) {

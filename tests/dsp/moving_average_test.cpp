@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <span>
+
 namespace fdb::dsp {
 namespace {
 
@@ -48,6 +51,22 @@ TEST(MovingAverage, DoubleTypeLongRunStable) {
   MovingAverage<double> ma(100);
   for (int i = 0; i < 100000; ++i) ma.process(1.0);
   EXPECT_NEAR(ma.value(), 1.0, 1e-9);
+}
+
+TEST(MovingAverage, BatchKernelMatchesScalarThroughWarmup) {
+  // One chunk straddling the warm-up boundary: the prologue averages
+  // over the partial fill, the steady-state loop over the full window.
+  MovingAverage<float> scalar(4), batch(4);
+  const float in[] = {4.0f, 8.0f, 6.0f, 2.0f, 10.0f, 0.0f, 4.0f};
+  float out[std::size(in)] = {};
+  batch.process(std::span<const float>(in, std::size(in)),
+                std::span<float>(out, std::size(in)));
+  for (std::size_t i = 0; i < std::size(in); ++i) {
+    EXPECT_FLOAT_EQ(out[i], scalar.process(in[i])) << i;
+  }
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 6.0f);
+  EXPECT_FLOAT_EQ(out[3], 5.0f);  // (4+8+6+2)/4
 }
 
 TEST(WindowedMinMax, TracksWindow) {

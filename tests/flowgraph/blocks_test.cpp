@@ -39,6 +39,36 @@ TEST(Blocks, MovingAverageBlockSmoothes) {
   EXPECT_FLOAT_EQ(out[2], 5.0f);
 }
 
+TEST(Blocks, AgcBlockMatchesBareKernel) {
+  std::vector<float> input(500, 0.1f);
+  dsp::Agc reference(1.0f, 0.01f);
+  std::vector<float> expected(input.size());
+  reference.process(input, expected);
+  const auto out =
+      run_through(std::make_shared<AgcBlockF>(1.0f, 0.01f), input);
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], expected[i]) << i;
+  }
+}
+
+TEST(Blocks, CorrelatorBlockMatchesBareKernel) {
+  std::vector<float> pattern = {1.0f, -1.0f, 1.0f};
+  std::vector<float> input;
+  for (int r = 0; r < 40; ++r) {
+    input.push_back(static_cast<float>(r % 5));
+  }
+  dsp::SlidingCorrelator reference(pattern, 2);
+  std::vector<float> expected(input.size());
+  reference.process(input, expected);
+  const auto out =
+      run_through(std::make_shared<CorrelatorBlockF>(pattern, 2), input);
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], expected[i]) << i;
+  }
+}
+
 TEST(Blocks, FirBlockFiltersImpulse) {
   auto out = run_through(std::make_shared<FirBlockF>(
                              std::vector<float>{0.25f, 0.75f}),

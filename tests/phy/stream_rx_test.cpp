@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <span>
+
 #include "util/rng.hpp"
 
 namespace fdb::phy {
@@ -105,6 +109,59 @@ TEST(StreamingReceiver, ChunkedDeliveryMatchesWholeStream) {
   }
   ASSERT_EQ(frames.size(), 1u);
   EXPECT_EQ(frames[0].payload, payload);
+}
+
+TEST(StreamingReceiver, RandomChunkingIsBitIdenticalToWholeCapture) {
+  // Multi-frame noisy stream fed (a) in one call and (b) in randomized
+  // chunk sizes: every reported frame must match bit-for-bit — status,
+  // payload, start position, and sync correlation. This pins the batch
+  // receive chain's chunk-size invariance.
+  const auto config = small_config();
+  BackscatterTx tx(config);
+  Rng rng(41);
+
+  std::vector<float> stream(700, 1.0f);
+  for (int f = 0; f < 4; ++f) {
+    std::vector<std::uint8_t> payload(6 + f * 9);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    const auto burst = frame_waveform(tx, payload, 1.0f, 1.4f);
+    stream.insert(stream.end(), burst.begin(), burst.end());
+    stream.insert(stream.end(), 600 + f * 37, 1.0f);
+  }
+  // Mild noise so correlations are not textbook-clean.
+  for (auto& s : stream) s += 0.01f * static_cast<float>(rng.normal());
+
+  std::vector<StreamFrame> whole_frames, chunk_frames;
+  StreamingReceiver whole(
+      config, [&](const StreamFrame& f) { whole_frames.push_back(f); });
+  StreamingReceiver chunked(
+      config, [&](const StreamFrame& f) { chunk_frames.push_back(f); });
+
+  whole.process(stream);
+
+  Rng chunk_rng(7);
+  const std::size_t palette[] = {1, 2, 3, 7, 32, 63, 257, 1024, 5000};
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t n =
+        std::min(palette[chunk_rng.uniform_int(std::size(palette))],
+                 stream.size() - pos);
+    chunked.process(std::span<const float>(stream.data() + pos, n));
+    pos += n;
+  }
+
+  EXPECT_GE(whole_frames.size(), 4u);
+  ASSERT_EQ(whole_frames.size(), chunk_frames.size());
+  for (std::size_t f = 0; f < whole_frames.size(); ++f) {
+    EXPECT_EQ(whole_frames[f].status, chunk_frames[f].status) << f;
+    EXPECT_EQ(whole_frames[f].payload, chunk_frames[f].payload) << f;
+    EXPECT_EQ(whole_frames[f].start_sample, chunk_frames[f].start_sample)
+        << f;
+    EXPECT_EQ(whole_frames[f].sync_corr, chunk_frames[f].sync_corr) << f;
+  }
+  EXPECT_EQ(whole.samples_processed(), chunked.samples_processed());
 }
 
 TEST(StreamingReceiver, PureNoiseProducesNoFrames) {
