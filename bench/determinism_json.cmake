@@ -1,0 +1,42 @@
+# Runs one bench binary twice (--jobs 1 vs --jobs 8) and fails unless the
+# JSON "sections" (all result rows) are bit-identical — the determinism
+# contract of the experiment runner and the trial-pure simulators.
+# Invoked by ctest with -DBENCH_BIN=<path> -DPYTHON3=<path> -DTRIALS=<n>.
+if(NOT TRIALS)
+  set(TRIALS 4)
+endif()
+
+get_filename_component(bench_name "${BENCH_BIN}" NAME)
+set(tmp "$ENV{TMPDIR}")
+if(NOT tmp)
+  set(tmp "/tmp")
+endif()
+
+foreach(jobs 1 8)
+  execute_process(
+    COMMAND "${BENCH_BIN}" --trials ${TRIALS} --jobs ${jobs} --format json
+    OUTPUT_VARIABLE bench_output
+    RESULT_VARIABLE bench_status)
+  if(NOT bench_status EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_BIN} --jobs ${jobs} exited with status ${bench_status}")
+  endif()
+  file(WRITE "${tmp}/fdb_${bench_name}_j${jobs}.json" "${bench_output}")
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON3}" -c
+"import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a['sections'] == b['sections'], 'results differ across job counts'
+"
+  "${tmp}/fdb_${bench_name}_j1.json"
+  "${tmp}/fdb_${bench_name}_j8.json"
+  RESULT_VARIABLE cmp_status
+  ERROR_VARIABLE cmp_error)
+file(REMOVE "${tmp}/fdb_${bench_name}_j1.json" "${tmp}/fdb_${bench_name}_j8.json")
+if(NOT cmp_status EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH_BIN}: jobs=1 vs jobs=8 results are not bit-identical: ${cmp_error}")
+endif()

@@ -1,0 +1,110 @@
+// E11 — Network-scale scenarios. The paper's headline mechanisms
+// (instant collision notification, concurrent feedback) only pay off in
+// *networks* of tags; this experiment runs the named deployment
+// scenarios through the sample-level NetworkSimulator with both MACs
+// and reports channel waste, goodput, collision-detection latency and
+// energy outages. Per-tag statistics for the dense deployment show the
+// fairness picture.
+#include <string>
+#include <vector>
+
+#include "channel/scene.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/12,
+                                       "network trials per scenario/MAC arm");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+  const std::size_t num_tags = 8;
+
+  fdb::sim::Report report("e11_network");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "network scenarios: timeout MAC vs full-duplex collision notification"
+      " (8 tags, sample-level PHY verdicts)",
+      {"scenario", "mac", "attempted", "delivered", "collisions",
+       "sync_failures", "goodput_kbps", "waste_fraction", "detect_latency",
+       "outage_fraction"});
+
+  double dense_waste_timeout = -1.0;
+  double dense_waste_notify = -1.0;
+  fdb::sim::NetworkSimSummary dense_notify_summary;
+
+  for (const auto& name : fdb::sim::scenario_names()) {
+    for (const auto kind : {fdb::mac::MacKind::kTimeout,
+                            fdb::mac::MacKind::kCollisionNotify}) {
+      auto scenario = fdb::sim::make_scenario(name, num_tags, /*seed=*/17);
+      scenario.config.mac_kind = kind;
+      const fdb::sim::NetworkSimulator sim(scenario.config);
+      const auto summary =
+          runner.run_chunked<fdb::sim::NetworkSimSummary>(
+              cli.trials, [&sim](fdb::sim::NetworkSimSummary& acc,
+                                 std::size_t trial) {
+                acc.add(sim.run_trial(trial));
+              });
+      const double seconds = static_cast<double>(summary.slots) *
+                             sim.slot_seconds();
+      const double goodput_kbps =
+          seconds > 0.0
+              ? static_cast<double>(summary.bits_delivered()) / seconds / 1e3
+              : 0.0;
+      const bool notify = kind == fdb::mac::MacKind::kCollisionNotify;
+      sec.add_row({name, notify ? "notify" : "timeout",
+                   summary.frames_attempted(), summary.frames_delivered(),
+                   summary.collisions, summary.sync_failures, goodput_kbps,
+                   summary.wasted_airtime_fraction(),
+                   summary.mean_detect_latency_slots(),
+                   summary.energy_outage_fraction()});
+      if (name == "dense-deployment") {
+        (notify ? dense_waste_notify : dense_waste_timeout) =
+            summary.wasted_airtime_fraction();
+        if (notify) dense_notify_summary = summary;
+      }
+    }
+  }
+
+  // Per-tag fairness picture for the dense deployment under the FD MAC.
+  {
+    auto scenario =
+        fdb::sim::make_scenario("dense-deployment", num_tags, /*seed=*/17);
+    const fdb::sim::NetworkSimulator sim(scenario.config);
+    auto& tag_sec = report.section(
+        "dense-deployment per-tag (notify MAC)",
+        {"tag", "dist_to_rx_m", "attempted", "delivered", "delivery_rate",
+         "goodput_bits"});
+    const auto& scene = sim.scene();
+    for (std::size_t k = 0; k < dense_notify_summary.tags.size(); ++k) {
+      const auto& t = dense_notify_summary.tags[k];
+      const double d = fdb::channel::distance_m(
+          scene.device(sim.tag_device(k)).position,
+          scene.device(sim.receiver_device()).position);
+      const double rate =
+          t.frames_attempted
+              ? static_cast<double>(t.frames_delivered) /
+                    static_cast<double>(t.frames_attempted)
+              : 0.0;
+      tag_sec.add_row_numeric({static_cast<double>(k), d,
+                               static_cast<double>(t.frames_attempted),
+                               static_cast<double>(t.frames_delivered), rate,
+                               static_cast<double>(t.payload_bits_delivered)});
+    }
+  }
+
+  report.add_note(
+      "Shape check: the notify MAC detects collisions in ~notify_delay"
+      " block-times instead of frame+timeout, so wasted airtime in the"
+      " dense deployment drops sharply (timeout " +
+      std::to_string(dense_waste_timeout) + " vs notify " +
+      std::to_string(dense_waste_notify) +
+      "); capture lets the timeout MAC deliver through some collisions in"
+      " near-far, which notification deliberately aborts.");
+  report.add_note(
+      "Verdicts are PHY-grounded: every completed frame is synthesized as"
+      " sample streams at the receiver and decoded by the batched"
+      " FdDataReceiver; collisions corrupt real envelopes, not abstract"
+      " slots.");
+  return report.emit(cli) ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// Scenario: a warehouse aisle of battery-free inventory tags around one
+// reader, all lit by the same TV tower. The demo runs the dense
+// deployment through the sample-level network simulator twice — once
+// with a conventional timeout MAC, once with the paper's full-duplex
+// collision notification — and shows what the channel time was spent on.
+#include <cstdio>
+
+#include "sim/network_sim.hpp"
+#include "sim/scenarios.hpp"
+
+int main() {
+  std::puts("Warehouse aisle: 8 battery-free tags, one reader, one ambient"
+            " carrier.\nEvery frame is synthesized at sample level; verdicts"
+            " come from the real\nreceive chain, so collisions corrupt actual"
+            " envelopes.\n");
+
+  constexpr std::size_t kTrials = 4;
+  std::printf("%-8s %9s %9s %10s %12s %14s\n", "mac", "attempts",
+              "delivered", "goodput", "waste_frac", "detect_slots");
+  for (const auto kind : {fdb::mac::MacKind::kTimeout,
+                          fdb::mac::MacKind::kCollisionNotify}) {
+    auto scenario = fdb::sim::make_scenario("dense-deployment", 8, 23);
+    scenario.config.mac_kind = kind;
+    const fdb::sim::NetworkSimulator sim(scenario.config);
+    const auto summary = sim.run(kTrials);
+    std::printf("%-8s %9llu %9llu %9.3f%% %12.3f %14.1f\n",
+                kind == fdb::mac::MacKind::kTimeout ? "timeout" : "notify",
+                static_cast<unsigned long long>(summary.frames_attempted()),
+                static_cast<unsigned long long>(summary.frames_delivered()),
+                100.0 * summary.goodput_slots_fraction(),
+                summary.wasted_airtime_fraction(),
+                summary.mean_detect_latency_slots());
+  }
+
+  std::puts("\nWith full-duplex notification a collision costs ~2 block-times"
+            " instead of a\nwhole frame plus an ACK timeout: the channel"
+            " spends its slots on delivered\nframes instead of dead air.");
+  return 0;
+}

@@ -1,6 +1,10 @@
 #include "channel/scene.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/db.hpp"
+#include "util/rng.hpp"
 
 namespace fdb::channel {
 
@@ -10,21 +14,45 @@ double distance_m(const Vec2& a, const Vec2& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-Scene::Scene(LogDistanceModel pathloss_model) : pathloss_(pathloss_model) {}
+Scene::Scene(LogDistanceModel pathloss_model, std::uint64_t shadowing_seed)
+    : pathloss_(pathloss_model), shadowing_seed_(shadowing_seed) {}
 
 std::size_t Scene::add_device(Device device) {
   devices_.push_back(std::move(device));
   return devices_.size() - 1;
 }
 
-double Scene::amplitude_gain(std::size_t a, std::size_t b, Rng* rng) const {
-  const double d = distance_m(devices_.at(a).position, devices_.at(b).position);
-  return pathloss_.amplitude_gain(std::max(d, 0.01), rng);
+double Scene::shadowing_db(std::size_t a, std::size_t b,
+                           std::uint64_t coherence_block) const {
+  if (pathloss_.shadowing_sigma_db <= 0.0) return 0.0;
+  // Order-independent pair key: the draw is a pure function of
+  // (seed, block, {a, b}), so gain(a, b) == gain(b, a) and no shared RNG
+  // state is consumed. Device indices are vector positions, comfortably
+  // below 2^32, so packing min/max into one 64-bit stream id is exact.
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  const std::uint64_t pair_key = (lo << 32) | (hi & 0xffffffffULL);
+  // Fold the block into the seed half so (seed, block) pairs never alias
+  // the (seed) of a neighbouring block.
+  const std::uint64_t block_seed =
+      shadowing_seed_ + coherence_block * 0x9e3779b97f4a7c15ULL;
+  Rng pair_rng = Rng::substream(block_seed, pair_key);
+  return pair_rng.normal(0.0, pathloss_.shadowing_sigma_db);
 }
 
-double Scene::power_gain(std::size_t a, std::size_t b, Rng* rng) const {
-  const double gain = amplitude_gain(a, b, rng);
-  return gain * gain;
+double Scene::power_gain(std::size_t a, std::size_t b,
+                         std::uint64_t coherence_block) const {
+  const double d = distance_m(devices_.at(a).position, devices_.at(b).position);
+  double gain = pathloss_.power_gain(std::max(d, 0.01));
+  if (pathloss_.shadowing_sigma_db > 0.0) {
+    gain *= db_to_lin(-shadowing_db(a, b, coherence_block));
+  }
+  return gain;
+}
+
+double Scene::amplitude_gain(std::size_t a, std::size_t b,
+                             std::uint64_t coherence_block) const {
+  return std::sqrt(power_gain(a, b, coherence_block));
 }
 
 std::size_t Scene::find_first(DeviceKind kind) const {

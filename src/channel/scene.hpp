@@ -4,11 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "channel/pathloss.hpp"
-#include "util/rng.hpp"
 
 namespace fdb::channel {
 
@@ -28,9 +28,19 @@ struct Device {
 };
 
 /// Container for devices + the shared propagation model.
+///
+/// Shadowing (when the model enables it) is drawn from a counter-based
+/// substream keyed on (shadowing seed, coherence block, unordered device
+/// pair), never from caller RNG state. That makes every link gain
+///  * reciprocal  — gain(a, b) == gain(b, a) within a coherence block,
+///  * repeatable  — the same (scene, block) always yields the same draw,
+///    no matter how many gains were queried before it or from which
+///    thread,
+/// which is the contract the pure-per-trial network simulator needs.
 class Scene {
  public:
-  explicit Scene(LogDistanceModel pathloss_model = {});
+  explicit Scene(LogDistanceModel pathloss_model = {},
+                 std::uint64_t shadowing_seed = 0);
 
   /// Adds a device; returns its index.
   std::size_t add_device(Device device);
@@ -38,23 +48,31 @@ class Scene {
   const Device& device(std::size_t i) const { return devices_.at(i); }
   std::size_t num_devices() const { return devices_.size(); }
 
-  /// One-way field (amplitude) gain between devices a and b. Shadowing,
-  /// if enabled in the model, is drawn from `rng` per call — callers
-  /// that need a consistent draw should cache the result per coherence
-  /// block.
+  /// One-way field (amplitude) gain between devices a and b for the
+  /// given coherence block. The shadowing realisation (if enabled in the
+  /// model) redraws per block and is symmetric in (a, b).
   double amplitude_gain(std::size_t a, std::size_t b,
-                        Rng* rng = nullptr) const;
+                        std::uint64_t coherence_block = 0) const;
 
   /// One-way power gain.
-  double power_gain(std::size_t a, std::size_t b, Rng* rng = nullptr) const;
+  double power_gain(std::size_t a, std::size_t b,
+                    std::uint64_t coherence_block = 0) const;
+
+  /// The lognormal shadowing term (dB) applied to the (a, b) link in
+  /// `coherence_block`; 0 when the model disables shadowing. Exposed so
+  /// tests can pin reciprocity and per-block redraw directly.
+  double shadowing_db(std::size_t a, std::size_t b,
+                      std::uint64_t coherence_block) const;
 
   const LogDistanceModel& pathloss_model() const { return pathloss_; }
+  std::uint64_t shadowing_seed() const { return shadowing_seed_; }
 
   /// First device of the given kind; SIZE_MAX if absent.
   std::size_t find_first(DeviceKind kind) const;
 
  private:
   LogDistanceModel pathloss_;
+  std::uint64_t shadowing_seed_;
   std::vector<Device> devices_;
 };
 

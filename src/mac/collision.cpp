@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace fdb::mac {
 namespace {
@@ -16,15 +17,23 @@ struct Tag {
   bool collided = false;
 };
 
-std::size_t draw_backoff(Rng& rng, const CollisionSimParams& params,
-                         std::size_t exponent) {
-  const std::size_t window =
-      params.backoff_min_slots
-      << std::min(exponent, params.backoff_max_exponent);
-  return 1 + static_cast<std::size_t>(rng.uniform_int(window));
+}  // namespace
+
+std::size_t beb_window(std::size_t min_slots, std::size_t exponent,
+                       std::size_t max_exponent) {
+  if (min_slots == 0) return 1;
+  const std::size_t shift = std::min(exponent, max_exponent);
+  constexpr std::size_t kBits = std::numeric_limits<std::size_t>::digits;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (shift >= kBits || min_slots > (kMax >> shift)) return kMax;
+  return min_slots << shift;
 }
 
-}  // namespace
+std::size_t draw_backoff(Rng& rng, std::size_t min_slots,
+                         std::size_t exponent, std::size_t max_exponent) {
+  const std::size_t window = beb_window(min_slots, exponent, max_exponent);
+  return 1 + static_cast<std::size_t>(rng.uniform_int(window));
+}
 
 CollisionStats run_collision_sim(MacKind kind,
                                  const CollisionSimParams& params) {
@@ -32,7 +41,8 @@ CollisionStats run_collision_sim(MacKind kind,
   Rng rng(params.seed);
   std::vector<Tag> tags(params.num_tags);
   for (auto& tag : tags) {
-    tag.counter = draw_backoff(rng, params, 0);
+    tag.counter = draw_backoff(rng, params.backoff_min_slots, 0,
+                               params.backoff_max_exponent);
   }
 
   CollisionStats stats;
@@ -57,7 +67,10 @@ CollisionStats run_collision_sim(MacKind kind,
     for (auto& tag : tags) {
       switch (tag.state) {
         case Tag::State::kBackoff: {
-          if (--tag.counter == 0) {
+          // `counter == 0` can only happen via an inconsistent external
+          // state; checking it first keeps the pre-decrement from
+          // wrapping to SIZE_MAX and parking the tag forever.
+          if (tag.counter == 0 || --tag.counter == 0) {
             tag.state = Tag::State::kTransmitting;
             tag.progress = 0;
             tag.collided = false;
@@ -76,7 +89,9 @@ CollisionStats run_collision_sim(MacKind kind,
             ++stats.collisions;
             ++tag.backoff_exponent;
             tag.state = Tag::State::kBackoff;
-            tag.counter = draw_backoff(rng, params, tag.backoff_exponent);
+            tag.counter = draw_backoff(rng, params.backoff_min_slots,
+                                       tag.backoff_exponent,
+                                       params.backoff_max_exponent);
             break;
           }
           if (tag.progress >= params.frame_blocks) {
@@ -96,13 +111,18 @@ CollisionStats run_collision_sim(MacKind kind,
                 ++tag.backoff_exponent;
               }
               tag.state = Tag::State::kBackoff;
-              tag.counter = draw_backoff(rng, params, tag.backoff_exponent);
+              tag.counter = draw_backoff(rng, params.backoff_min_slots,
+                                       tag.backoff_exponent,
+                                       params.backoff_max_exponent);
             }
           }
           break;
         }
         case Tag::State::kWaitingAck: {
-          if (--tag.counter == 0) {
+          // timeout_slots == 0 enters this state with a zero counter; the
+          // verdict then resolves on the next slot instead of underflowing
+          // the pre-decrement.
+          if (tag.counter == 0 || --tag.counter == 0) {
             if (!tag.collided) {
               ++stats.frames_delivered;
               stats.useful_slots += params.frame_blocks;
@@ -114,7 +134,9 @@ CollisionStats run_collision_sim(MacKind kind,
               ++tag.backoff_exponent;
             }
             tag.state = Tag::State::kBackoff;
-            tag.counter = draw_backoff(rng, params, tag.backoff_exponent);
+            tag.counter = draw_backoff(rng, params.backoff_min_slots,
+                                       tag.backoff_exponent,
+                                       params.backoff_max_exponent);
           }
           break;
         }

@@ -12,6 +12,11 @@
 //
 // The simulation is slotted in block-times, saturated traffic (every
 // tag always has a frame), binary-exponential backoff.
+//
+// This file is the abstract (slot-level) contention model; the
+// network-scale engine in sim/network_sim.hpp reuses the same slotted
+// MAC timing but grounds delivery verdicts in synthesized sample
+// streams.
 #pragma once
 
 #include <cstddef>
@@ -65,6 +70,19 @@ struct CollisionStats {
 };
 
 enum class MacKind { kTimeout, kCollisionNotify };
+
+/// Binary-exponential-backoff window size: `min_slots << min(exponent,
+/// max_exponent)`, saturating instead of shifting past the word width and
+/// clamped to >= 1 so the result is always a valid `Rng::uniform_int`
+/// bound (min_slots == 0 would otherwise produce an empty window).
+std::size_t beb_window(std::size_t min_slots, std::size_t exponent,
+                       std::size_t max_exponent);
+
+/// Draws a backoff duration uniformly from [1, beb_window(...)] slots.
+/// Shared by this abstract contention model and the network-scale
+/// engine so the two MAC layers stay distribution-identical.
+std::size_t draw_backoff(Rng& rng, std::size_t min_slots,
+                         std::size_t exponent, std::size_t max_exponent);
 
 /// Runs the slotted contention simulation for the selected MAC.
 CollisionStats run_collision_sim(MacKind kind,

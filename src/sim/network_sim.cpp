@@ -1,0 +1,454 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "channel/ambient_source.hpp"
+#include "channel/fading.hpp"
+#include "channel/impairments.hpp"
+#include "dsp/envelope.hpp"
+
+namespace fdb::sim {
+namespace {
+
+/// Runtime state of one tag inside a trial. The slot-domain machine
+/// mirrors mac/collision.cpp, but verdicts come from the PHY decode of
+/// the synthesized receiver stream instead of the abstract collided
+/// flag, and starts are gated by the energy store.
+struct TagRt {
+  enum class St { kBackoff, kTx, kWaitVerdict };
+  St st = St::kBackoff;
+  std::size_t counter = 0;   // slots remaining in backoff / verdict wait
+  std::size_t progress = 0;  // on-air slots of the current frame
+  std::size_t exponent = 0;  // BEB exponent
+  bool wait_entered_now = false;  // skip the tick the slot we enter wait
+  bool brownout_now = false;      // energy ran out during this slot
+
+  // Current frame attempt.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> states;  // per-sample antenna states
+  std::uint64_t start_slot = 0;
+  bool overlapped = false;
+  std::uint64_t overlap_start = 0;
+
+  energy::Storage storage;
+  energy::EnergyLedger ledger;
+
+  TagRt(const energy::StorageParams& sp, const energy::PowerProfile& pp)
+      : storage(sp), ledger(pp) {}
+};
+
+}  // namespace
+
+double NetworkSimConfig::noise_power_w() const {
+  if (noise_power_override_w >= 0.0) return noise_power_override_w;
+  return channel::thermal_noise_power(modem.data.rates.sample_rate_hz,
+                                      noise_figure_db);
+}
+
+void NetworkTagStats::merge(const NetworkTagStats& other) {
+  frames_attempted += other.frames_attempted;
+  frames_delivered += other.frames_delivered;
+  frames_collided += other.frames_collided;
+  frames_aborted += other.frames_aborted;
+  payload_bits_delivered += other.payload_bits_delivered;
+  energy_outages += other.energy_outages;
+  harvested_j += other.harvested_j;
+  spent_j += other.spent_j;
+}
+
+void NetworkSimSummary::add(const NetworkTrialResult& trial) {
+  if (tags.empty()) tags.resize(trial.tags.size());
+  assert(tags.size() == trial.tags.size());
+  for (std::size_t k = 0; k < tags.size(); ++k) tags[k].merge(trial.tags[k]);
+  ++trials;
+  slots += trial.slots;
+  busy_slots += trial.busy_slots;
+  useful_slots += trial.useful_slots;
+  wasted_slots += trial.wasted_slots;
+  collisions += trial.collisions;
+  sync_failures += trial.sync_failures;
+  detect_latency_slots.merge(trial.detect_latency_slots);
+}
+
+void NetworkSimSummary::merge(const NetworkSimSummary& other) {
+  if (other.trials == 0) return;
+  if (tags.empty()) tags.resize(other.tags.size());
+  assert(tags.size() == other.tags.size());
+  for (std::size_t k = 0; k < tags.size(); ++k) tags[k].merge(other.tags[k]);
+  trials += other.trials;
+  slots += other.slots;
+  busy_slots += other.busy_slots;
+  useful_slots += other.useful_slots;
+  wasted_slots += other.wasted_slots;
+  collisions += other.collisions;
+  sync_failures += other.sync_failures;
+  detect_latency_slots.merge(other.detect_latency_slots);
+}
+
+std::uint64_t NetworkSimSummary::frames_attempted() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tags) n += t.frames_attempted;
+  return n;
+}
+
+std::uint64_t NetworkSimSummary::frames_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tags) n += t.frames_delivered;
+  return n;
+}
+
+std::uint64_t NetworkSimSummary::bits_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tags) n += t.payload_bits_delivered;
+  return n;
+}
+
+std::uint64_t NetworkSimSummary::energy_outages() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tags) n += t.energy_outages;
+  return n;
+}
+
+double NetworkSimSummary::energy_outage_fraction() const {
+  const std::uint64_t outages = energy_outages();
+  const std::uint64_t denom = outages + frames_attempted();
+  return denom ? static_cast<double>(outages) / static_cast<double>(denom)
+               : 0.0;
+}
+
+NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
+    : config_(std::move(config)),
+      scene_(config_.pathloss, config_.shadowing_seed),
+      tx_(config_.modem),
+      rx_(config_.modem),
+      harvester_(config_.harvester) {
+  assert(!config_.tags.empty());
+  assert(config_.modem.consistent());
+  assert(config_.slots_per_trial > 0);
+
+  ambient_device_ = scene_.add_device(
+      {"ambient", channel::DeviceKind::kAmbientTx, config_.ambient_position});
+  receiver_device_ = scene_.add_device(
+      {"rx", channel::DeviceKind::kReceiver, config_.receiver_position});
+  tag_device_.reserve(config_.tags.size());
+  modulators_.reserve(config_.tags.size());
+  for (std::size_t k = 0; k < config_.tags.size(); ++k) {
+    tag_device_.push_back(scene_.add_device({"tag" + std::to_string(k),
+                                             channel::DeviceKind::kTag,
+                                             config_.tags[k].position}));
+    modulators_.emplace_back(
+        channel::ReflectionStates::ook(config_.tags[k].reflection_rho));
+  }
+
+  const auto& rates = config_.modem.data.rates;
+  slot_samples_ = rates.samples_per_feedback_bit();
+  burst_samples_ = tx_.burst_samples(config_.payload_bytes);
+  frame_slots_ = (burst_samples_ + slot_samples_ - 1) / slot_samples_;
+  frame_cost_j_ = static_cast<double>(frame_slots_) * slot_seconds() *
+                  config_.power.backscattering_w;
+}
+
+double NetworkSimulator::slot_seconds() const {
+  return static_cast<double>(slot_samples_) /
+         config_.modem.data.rates.sample_rate_hz;
+}
+
+NetworkTrialResult NetworkSimulator::run_trial(
+    std::uint64_t trial_index) const {
+  const auto& rates = config_.modem.data.rates;
+  const std::size_t n_tags = config_.tags.size();
+  const std::size_t slots = config_.slots_per_trial;
+  const std::size_t total = slots * slot_samples_;
+  const double dt = slot_seconds();
+
+  NetworkTrialResult res;
+  res.tags.resize(n_tags);
+  res.slots = slots;
+
+  // Everything stochastic about this trial lives on the stack, keyed by
+  // (seed, trial_index) — the purity contract the parallel runner needs.
+  Rng rng = Rng::substream(config_.seed, trial_index);
+  const auto source = channel::make_ambient_source(config_.carrier, rng());
+
+  // Per-link complex gains for this trial: shadowing redraws reciprocally
+  // per coherence block (= trial) inside the scene; small-scale fading
+  // draws come from the trial generator in fixed link order.
+  auto fading = channel::make_fading(config_.fading, rng);
+  const auto fade_draw = [&]() {
+    fading->next_block(rng);
+    return fading->gain();
+  };
+  const double amp_tx = std::sqrt(config_.tx_power_w);
+  const cf32 h_sr =
+      fade_draw() *
+      static_cast<float>(amp_tx * scene_.amplitude_gain(
+                                      ambient_device_, receiver_device_,
+                                      trial_index));
+  std::vector<cf32> h_st(n_tags);  // ambient -> tag (includes tx power)
+  std::vector<cf32> h_tr(n_tags);  // tag -> receiver
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    h_st[k] = fade_draw() *
+              static_cast<float>(amp_tx * scene_.amplitude_gain(
+                                              ambient_device_, tag_device_[k],
+                                              trial_index));
+    h_tr[k] = fade_draw() *
+              static_cast<float>(scene_.amplitude_gain(
+                  tag_device_[k], receiver_device_, trial_index));
+  }
+
+  // Ambient carrier realisation for the whole trial, so any decode
+  // window is a pure history lookup.
+  std::vector<cf32> ambient;
+  source->generate(total, ambient);
+
+  channel::AwgnChannel noise(config_.noise_power_w(), rng.fork());
+  const double chip_rate =
+      rates.sample_rate_hz / static_cast<double>(rates.samples_per_chip);
+  const double cutoff =
+      std::min(chip_rate * config_.envelope_cutoff_mult,
+               rates.sample_rate_hz * 0.45);
+  dsp::EnvelopeDetector env(cutoff, rates.sample_rate_hz);
+  std::vector<float> env_buf(total);
+  std::vector<cf32> rx_slot(slot_samples_);  // per-slot synthesis scratch
+
+  // Decode windows reach a couple of chips past the burst (RC group
+  // delay shifts sync late by a fraction of a chip), never a full slot:
+  // keeping the tail short stops a back-to-back successor frame's
+  // preamble from entering this frame's sync search.
+  const std::size_t tail_samples = 2 * rates.samples_per_bit();
+
+  std::vector<TagRt> rt;
+  rt.reserve(n_tags);
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    rt.emplace_back(config_.storage, config_.power);
+    rt[k].counter = mac::draw_backoff(rng, config_.backoff_min_slots, 0,
+                                      config_.backoff_max_exponent);
+  }
+
+  const auto redraw_backoff = [&](TagRt& tag) {
+    tag.counter = mac::draw_backoff(rng, config_.backoff_min_slots,
+                                    tag.exponent,
+                                    config_.backoff_max_exponent);
+  };
+
+  const bool fd = config_.mac_kind == mac::MacKind::kCollisionNotify;
+  std::uint64_t idle_wait_slots = 0;
+  std::vector<std::size_t> active;
+  active.reserve(n_tags);
+
+  // Decodes tag k's completed frame from the receiver's envelope history
+  // and applies the verdict to stats + MAC state. `learn_slot` is when
+  // the transmitter hears the outcome (for the latency metric).
+  const auto resolve_verdict = [&](std::size_t k, std::uint64_t learn_slot,
+                                   bool update_mac) {
+    TagRt& tag = rt[k];
+    const std::size_t lo =
+        static_cast<std::size_t>(tag.start_slot) * slot_samples_;
+    const std::size_t hi = std::min(total, lo + burst_samples_ + tail_samples);
+    const core::FdRxResult r = rx_.demodulate(
+        std::span<const float>(env_buf).subspan(lo, hi - lo), {},
+        config_.payload_bytes);
+    const bool delivered = r.status != Status::kSyncNotFound &&
+                           r.blocks.blocks_failed == 0 &&
+                           r.blocks.payload == tag.payload;
+    if (delivered) {
+      ++res.tags[k].frames_delivered;
+      res.tags[k].payload_bits_delivered += config_.payload_bytes * 8;
+      res.useful_slots += frame_slots_;
+      if (update_mac) tag.exponent = 0;
+    } else {
+      if (tag.overlapped) {
+        ++res.tags[k].frames_collided;
+        ++res.collisions;
+        res.detect_latency_slots.add(
+            static_cast<double>(learn_slot - tag.overlap_start + 1));
+      } else {
+        ++res.sync_failures;
+      }
+      if (update_mac) ++tag.exponent;
+    }
+  };
+
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    // --- Phase A: backoff ticks; frame starts (energy-gated) ----------
+    for (std::size_t k = 0; k < n_tags; ++k) {
+      TagRt& tag = rt[k];
+      tag.wait_entered_now = false;
+      tag.brownout_now = false;
+      if (tag.st != TagRt::St::kBackoff) continue;
+      if (tag.counter == 0 || --tag.counter == 0) {
+        // Frames that cannot fully resolve inside the trial are not
+        // started: park the tag so every attempt has a verdict.
+        if (slot + frame_slots_ + 2 > slots) {
+          tag.counter = slots;  // runs off the end of the trial
+          continue;
+        }
+        if (config_.energy_gating &&
+            tag.storage.level_j() < frame_cost_j_) {
+          ++res.tags[k].energy_outages;
+          redraw_backoff(tag);
+          continue;
+        }
+        tag.st = TagRt::St::kTx;
+        tag.progress = 0;
+        tag.start_slot = slot;
+        tag.overlapped = false;
+        ++res.tags[k].frames_attempted;
+        tag.payload.resize(config_.payload_bytes);
+        for (auto& byte : tag.payload) {
+          byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+        }
+        tag.states = tx_.modulate(tag.payload);
+      }
+    }
+
+    // --- Phase B: channel synthesis + energy accounting ---------------
+    active.clear();
+    bool any_waiting = false;
+    for (std::size_t k = 0; k < n_tags; ++k) {
+      if (rt[k].st == TagRt::St::kTx) active.push_back(k);
+      if (rt[k].st == TagRt::St::kWaitVerdict) any_waiting = true;
+    }
+    if (!active.empty()) {
+      ++res.busy_slots;
+    } else if (any_waiting) {
+      ++idle_wait_slots;  // dead air while timers / verdict drains run
+    }
+
+    // Slot synthesis runs on the batch kernels: direct ambient leakage,
+    // then each active tag's reflection folded in as a per-state
+    // coupling coefficient (h_tag->rx * Gamma(state) * h_ambient->tag),
+    // then the batched AWGN and RC-envelope spans.
+    const std::size_t base = static_cast<std::size_t>(slot) * slot_samples_;
+    for (std::size_t i = 0; i < slot_samples_; ++i) {
+      rx_slot[i] = h_sr * ambient[base + i];
+    }
+    for (const std::size_t k : active) {
+      const TagRt& tag = rt[k];
+      const auto& gamma = modulators_[k].states();
+      const cf32 c_on = h_tr[k] * gamma.gamma_reflect * h_st[k];
+      const cf32 c_off = h_tr[k] * gamma.gamma_absorb * h_st[k];
+      const std::size_t off0 =
+          static_cast<std::size_t>(slot - tag.start_slot) * slot_samples_;
+      for (std::size_t i = 0; i < slot_samples_; ++i) {
+        const std::size_t off = off0 + i;
+        const bool g = off < tag.states.size() && tag.states[off] != 0;
+        rx_slot[i] += (g ? c_on : c_off) * ambient[base + i];
+      }
+    }
+    noise.process(rx_slot, rx_slot);
+    env.process(rx_slot,
+                std::span<float>(env_buf).subspan(base, slot_samples_));
+
+    for (std::size_t k = 0; k < n_tags; ++k) {
+      TagRt& tag = rt[k];
+      const bool reflecting = tag.st == TagRt::St::kTx;
+      const double p_inc = static_cast<double>(std::norm(h_st[k]));
+      // Reflecting alternates absorb/reflect states roughly half the
+      // time, so the harvester sees the mean of the two fractions.
+      const double hf =
+          reflecting ? 0.5 * (modulators_[k].harvest_fraction(false) +
+                              modulators_[k].harvest_fraction(true))
+                     : modulators_[k].harvest_fraction(false);
+      const double harvested = harvester_.harvest(p_inc * hf, dt);
+      res.tags[k].harvested_j += harvested;
+      if (!config_.energy_gating) continue;
+      tag.storage.charge(harvested);
+      tag.storage.tick(dt);
+      const energy::TagState es = reflecting
+                                      ? energy::TagState::kBackscattering
+                                      : energy::TagState::kListening;
+      tag.ledger.spend(es, dt);
+      // A failed draw while merely listening drains the store but is
+      // not an outage event — only gated starts and mid-frame brownouts
+      // count, per the NetworkTagStats contract.
+      if (!tag.storage.draw(config_.power.power(es) * dt) && reflecting) {
+        ++res.tags[k].energy_outages;
+        tag.brownout_now = true;
+      }
+    }
+
+    // --- Phase C: transmission progress, overlap, aborts, frame end ---
+    const bool collision_now = active.size() >= 2;
+    for (const std::size_t k : active) {
+      TagRt& tag = rt[k];
+      ++tag.progress;
+      if (collision_now && !tag.overlapped) {
+        tag.overlapped = true;
+        tag.overlap_start = slot;
+      }
+      if (tag.brownout_now) {
+        // Storage emptied under the switch drive: the frame dies on air.
+        ++res.tags[k].frames_aborted;
+        if (tag.overlapped) {
+          ++res.tags[k].frames_collided;
+          ++res.collisions;
+        }
+        tag.st = TagRt::St::kBackoff;
+        redraw_backoff(tag);
+        continue;
+      }
+      if (fd && tag.overlapped &&
+          slot - tag.overlap_start + 1 >= config_.notify_delay_slots) {
+        // Receiver's collision notification arrived (notify_delay_slots
+        // after the overlap began, not after the frame started —
+        // mid-frame collision victims wait the full notification
+        // latency too): abort now.
+        ++res.tags[k].frames_aborted;
+        ++res.tags[k].frames_collided;
+        ++res.collisions;
+        res.detect_latency_slots.add(
+            static_cast<double>(slot - tag.overlap_start + 1));
+        ++tag.exponent;
+        tag.st = TagRt::St::kBackoff;
+        redraw_backoff(tag);
+        continue;
+      }
+      if (tag.progress >= frame_slots_) {
+        // Frame fully on air. FD drains one slot for the final block
+        // verdict; the timeout MAC idles through the ACK window.
+        tag.st = TagRt::St::kWaitVerdict;
+        tag.counter = fd ? 1 : std::max<std::size_t>(1, config_.timeout_slots);
+        tag.wait_entered_now = true;
+      }
+    }
+
+    // --- Phase D: verdict waits resolve against synthesized history ---
+    for (std::size_t k = 0; k < n_tags; ++k) {
+      TagRt& tag = rt[k];
+      if (tag.st != TagRt::St::kWaitVerdict || tag.wait_entered_now) continue;
+      if (tag.counter == 0 || --tag.counter == 0) {
+        resolve_verdict(k, slot, /*update_mac=*/true);
+        tag.st = TagRt::St::kBackoff;
+        redraw_backoff(tag);
+      }
+    }
+  }
+
+  // Attempts still waiting on a verdict at trial end have fully
+  // synthesized frames (starts are parked otherwise): resolve them for
+  // the stats without MAC consequences.
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    if (rt[k].st == TagRt::St::kWaitVerdict) {
+      resolve_verdict(k, slots - 1, /*update_mac=*/false);
+    }
+    rt[k].st = TagRt::St::kBackoff;
+    res.tags[k].spent_j = rt[k].ledger.total_energy_j();
+  }
+
+  res.wasted_slots = (res.busy_slots > res.useful_slots
+                          ? res.busy_slots - res.useful_slots
+                          : 0) +
+                     idle_wait_slots;
+  return res;
+}
+
+NetworkSimSummary NetworkSimulator::run(std::size_t n) const {
+  NetworkSimSummary summary;
+  for (std::size_t t = 0; t < n; ++t) summary.add(run_trial(t));
+  return summary;
+}
+
+}  // namespace fdb::sim

@@ -1,0 +1,44 @@
+// Named network scenarios: curated NetworkSimConfig presets covering
+// the deployment regimes the paper's claims live or die in. Each
+// scenario is a pure function of (name, num_tags, seed) — geometry is
+// generated from closed-form ring/line layouts, never from an RNG — so
+// two processes asking for the same scenario always simulate the same
+// network.
+//
+//   dense-deployment  N tags packed on a tight ring around the
+//                     receiver: contention-dominated, where instant
+//                     collision notification should beat ACK timeouts.
+//   near-far          alternating close/far tags: capture effect and
+//                     fairness under power asymmetry.
+//   energy-starved    the illuminator is barely in harvesting range and
+//                     storage is tiny: transmissions gate on energy and
+//                     tags brown out.
+//   fading-sweep      Rayleigh block fading + lognormal shadowing on
+//                     every link: clean frames are still lost to fades,
+//                     exercising the reciprocal pair-keyed shadowing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+
+namespace fdb::sim {
+
+struct NetworkScenario {
+  std::string name;
+  std::string summary;  // one-line description for reports/--help
+  NetworkSimConfig config;
+};
+
+/// Registry order (stable; benches iterate this).
+const std::vector<std::string>& scenario_names();
+
+/// Builds a named scenario. `num_tags` == 0 keeps the scenario default
+/// (8); `seed` keys all trial randomness. Throws std::invalid_argument
+/// for unknown names.
+NetworkScenario make_scenario(const std::string& name,
+                              std::size_t num_tags = 0,
+                              std::uint64_t seed = 1);
+
+}  // namespace fdb::sim

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numbers>
 
 namespace fdb {
@@ -47,6 +49,13 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
   assert(n > 0);
+  if (n == 0) {
+    // An empty range has no valid result. Fail loudly in release builds
+    // too: the `(-n) % n` below would otherwise be a division by zero
+    // (undefined behaviour) that only a sanitizer run would catch.
+    std::fputs("fdb::Rng::uniform_int: n must be > 0\n", stderr);
+    std::abort();
+  }
   // Lemire's nearly-divisionless bounded integers with rejection.
   const std::uint64_t threshold = (-n) % n;
   for (;;) {

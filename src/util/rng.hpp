@@ -34,7 +34,10 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Precondition: n > 0 — an empty range has
+  /// no valid result. Violations abort with a message in every build
+  /// mode (never silent UB; the bounded-integer reduction would divide
+  /// by zero).
   std::uint64_t uniform_int(std::uint64_t n);
 
   /// Standard normal via Box-Muller (cached second deviate).

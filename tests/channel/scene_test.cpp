@@ -38,6 +38,63 @@ TEST(Scene, GainSymmetric) {
   EXPECT_DOUBLE_EQ(scene.amplitude_gain(a, b), scene.amplitude_gain(b, a));
 }
 
+LogDistanceModel shadowed_model(double sigma_db) {
+  LogDistanceModel model;
+  model.shadowing_sigma_db = sigma_db;
+  return model;
+}
+
+TEST(Scene, ShadowedGainIsReciprocal) {
+  // The shadowing draw is keyed on the unordered pair, so links stay
+  // reciprocal within a coherence block (the old per-call draw from a
+  // shared RNG made gain(a,b) != gain(b,a)).
+  Scene scene(shadowed_model(6.0), /*shadowing_seed=*/99);
+  const auto a = scene.add_device({"a", DeviceKind::kTag, {0.0, 0.0}});
+  const auto b = scene.add_device({"b", DeviceKind::kTag, {7.0, 3.0}});
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    EXPECT_DOUBLE_EQ(scene.amplitude_gain(a, b, block),
+                     scene.amplitude_gain(b, a, block));
+    EXPECT_DOUBLE_EQ(scene.shadowing_db(a, b, block),
+                     scene.shadowing_db(b, a, block));
+  }
+}
+
+TEST(Scene, ShadowingRedrawsPerCoherenceBlock) {
+  Scene scene(shadowed_model(6.0), 99);
+  const auto a = scene.add_device({"a", DeviceKind::kTag, {0.0, 0.0}});
+  const auto b = scene.add_device({"b", DeviceKind::kTag, {4.0, 0.0}});
+  EXPECT_NE(scene.shadowing_db(a, b, 0), scene.shadowing_db(a, b, 1));
+}
+
+TEST(Scene, ShadowedGainDeterministicAndQueryOrderFree) {
+  // Two scenes with the same seed agree; querying other pairs first
+  // must not advance any hidden state (per-call draws used to).
+  Scene s1(shadowed_model(6.0), 42);
+  Scene s2(shadowed_model(6.0), 42);
+  for (auto* s : {&s1, &s2}) {
+    s->add_device({"a", DeviceKind::kTag, {0.0, 0.0}});
+    s->add_device({"b", DeviceKind::kTag, {4.0, 0.0}});
+    s->add_device({"c", DeviceKind::kTag, {0.0, 4.0}});
+  }
+  (void)s2.amplitude_gain(1, 2, 0);  // extra query before the probe
+  (void)s2.amplitude_gain(0, 2, 7);
+  EXPECT_DOUBLE_EQ(s1.amplitude_gain(0, 1, 3), s2.amplitude_gain(0, 1, 3));
+
+  Scene s3(shadowed_model(6.0), 43);
+  s3.add_device({"a", DeviceKind::kTag, {0.0, 0.0}});
+  s3.add_device({"b", DeviceKind::kTag, {4.0, 0.0}});
+  EXPECT_NE(s1.amplitude_gain(0, 1, 3), s3.amplitude_gain(0, 1, 3));
+}
+
+TEST(Scene, ShadowingDisabledMatchesPlainPathloss) {
+  Scene scene;  // sigma = 0
+  const auto a = scene.add_device({"a", DeviceKind::kTag, {0.0, 0.0}});
+  const auto b = scene.add_device({"b", DeviceKind::kTag, {4.0, 0.0}});
+  EXPECT_DOUBLE_EQ(scene.shadowing_db(a, b, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scene.power_gain(a, b),
+                   scene.pathloss_model().power_gain(4.0));
+}
+
 TEST(Scene, CoincidentDevicesDoNotDivideByZero) {
   Scene scene;
   const auto a = scene.add_device({"a", DeviceKind::kTag, {1.0, 1.0}});
@@ -50,6 +107,14 @@ TEST(Scene, FindFirstByKind) {
   scene.add_device({"t1", DeviceKind::kTag, {0, 0}});
   const auto tx = scene.add_device({"tv", DeviceKind::kAmbientTx, {0, 0}});
   EXPECT_EQ(scene.find_first(DeviceKind::kAmbientTx), tx);
+  EXPECT_EQ(scene.find_first(DeviceKind::kReceiver), SIZE_MAX);
+}
+
+TEST(Scene, FindFirstOnEmptyScene) {
+  const Scene scene;
+  EXPECT_EQ(scene.num_devices(), 0u);
+  EXPECT_EQ(scene.find_first(DeviceKind::kAmbientTx), SIZE_MAX);
+  EXPECT_EQ(scene.find_first(DeviceKind::kTag), SIZE_MAX);
   EXPECT_EQ(scene.find_first(DeviceKind::kReceiver), SIZE_MAX);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fdb::mac {
 namespace {
 
@@ -61,6 +63,90 @@ TEST(Collision, StatsInternallyConsistent) {
   EXPECT_LE(stats.wasted_airtime_fraction(), 1.0);
   EXPECT_GE(stats.mean_delivery_latency(),
             static_cast<double>(base_params(4).frame_blocks));
+}
+
+TEST(BebWindow, ClampsAndSaturates) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  // min_slots == 0 used to produce an empty window (-> uniform_int(0),
+  // a release-mode division by zero); it must clamp to 1.
+  EXPECT_EQ(beb_window(0, 0, 6), 1u);
+  EXPECT_EQ(beb_window(0, 3, 6), 1u);
+  EXPECT_EQ(beb_window(4, 0, 6), 4u);
+  EXPECT_EQ(beb_window(4, 2, 6), 16u);
+  EXPECT_EQ(beb_window(4, 10, 6), 4u << 6);  // exponent capped
+  // Shifts at or past the word width used to be UB; they saturate now.
+  EXPECT_EQ(beb_window(1, 64, 200), kMax);
+  EXPECT_EQ(beb_window(1, 200, 200), kMax);
+  EXPECT_EQ(beb_window(kMax, 1, 6), kMax);
+  EXPECT_EQ(beb_window(2, 63, 63), kMax);
+}
+
+TEST(Collision, ZeroBackoffMinSlotsRuns) {
+  // Regression: window clamped to >= 1 instead of drawing from an empty
+  // range.
+  auto params = base_params(4);
+  params.backoff_min_slots = 0;
+  params.sim_slots = 20000;
+  for (const auto kind : {MacKind::kTimeout, MacKind::kCollisionNotify}) {
+    const auto stats = run_collision_sim(kind, params);
+    EXPECT_EQ(stats.slots_simulated, params.sim_slots);
+    EXPECT_LE(stats.useful_slots + stats.wasted_slots, stats.slots_simulated);
+  }
+}
+
+TEST(Collision, HugeBackoffExponentSaturates) {
+  // Regression: exponents past the word width saturate instead of
+  // shifting out of range.
+  auto params = base_params(8);
+  params.backoff_max_exponent = 500;
+  params.sim_slots = 20000;
+  const auto stats = run_collision_sim(MacKind::kCollisionNotify, params);
+  EXPECT_EQ(stats.slots_simulated, params.sim_slots);
+  EXPECT_GT(stats.collisions, 0u);
+}
+
+TEST(Collision, ZeroTimeoutSlotsRuns) {
+  // Regression: timeout_slots == 0 entered kWaitingAck with a zero
+  // counter and the pre-decrement wrapped to SIZE_MAX, parking every tag
+  // forever after its first frame.
+  auto params = base_params(2);
+  params.timeout_slots = 0;
+  params.sim_slots = 20000;
+  const auto stats = run_collision_sim(MacKind::kTimeout, params);
+  EXPECT_GT(stats.frames_delivered, 10u);
+}
+
+TEST(Collision, UsefulPlusWastedBounded) {
+  for (const std::size_t tags : {1u, 3u, 8u}) {
+    for (const auto kind : {MacKind::kTimeout, MacKind::kCollisionNotify}) {
+      auto params = base_params(tags);
+      params.sim_slots = 30000;
+      const auto stats = run_collision_sim(kind, params);
+      EXPECT_LE(stats.useful_slots + stats.wasted_slots,
+                stats.slots_simulated)
+          << "tags=" << tags;
+      EXPECT_LE(stats.busy_slots, stats.slots_simulated);
+    }
+  }
+}
+
+TEST(Collision, DeterministicAcrossSeedsAndMacKinds) {
+  for (const auto kind : {MacKind::kTimeout, MacKind::kCollisionNotify}) {
+    for (const std::uint64_t seed : {1ull, 77ull}) {
+      auto params = base_params(5);
+      params.seed = seed;
+      params.sim_slots = 30000;
+      const auto a = run_collision_sim(kind, params);
+      const auto b = run_collision_sim(kind, params);
+      EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+      EXPECT_EQ(a.collisions, b.collisions);
+      EXPECT_EQ(a.busy_slots, b.busy_slots);
+      EXPECT_EQ(a.useful_slots, b.useful_slots);
+      EXPECT_EQ(a.wasted_slots, b.wasted_slots);
+      EXPECT_EQ(a.total_delivery_latency_slots,
+                b.total_delivery_latency_slots);
+    }
+  }
 }
 
 TEST(Collision, FasterNotificationHelps) {

@@ -1,0 +1,205 @@
+#include "sim/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+#include "sim/scenarios.hpp"
+
+namespace fdb::sim {
+namespace {
+
+/// Small, fast config: 4 tags around the receiver, short trials.
+NetworkSimConfig small_config(std::size_t num_tags = 4) {
+  NetworkSimConfig config;
+  config.payload_bytes = 32;  // 4 blocks -> 5-slot frames
+  config.slots_per_trial = 96;
+  config.ambient_position = {0.0, 0.0};
+  config.receiver_position = {5.0, 0.0};
+  config.tags.clear();
+  for (std::size_t k = 0; k < num_tags; ++k) {
+    NetworkTagConfig tag;
+    tag.position = {5.0 + 1.0 * static_cast<double>(k % 3),
+                    1.0 + 0.5 * static_cast<double>(k)};
+    config.tags.push_back(tag);
+  }
+  config.seed = 5;
+  return config;
+}
+
+NetworkSimSummary run_with_runner(const NetworkSimulator& sim,
+                                  std::size_t trials, std::size_t jobs) {
+  const ExperimentRunner runner(jobs);
+  return runner.run_chunked<NetworkSimSummary>(
+      trials, [&sim](NetworkSimSummary& acc, std::size_t trial) {
+        acc.add(sim.run_trial(trial));
+      });
+}
+
+void expect_summaries_identical(const NetworkSimSummary& a,
+                                const NetworkSimSummary& b) {
+  ASSERT_EQ(a.tags.size(), b.tags.size());
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.busy_slots, b.busy_slots);
+  EXPECT_EQ(a.useful_slots, b.useful_slots);
+  EXPECT_EQ(a.wasted_slots, b.wasted_slots);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.sync_failures, b.sync_failures);
+  EXPECT_EQ(a.detect_latency_slots.count(), b.detect_latency_slots.count());
+  // Bit-identical, not approximately equal: the merge tree is fixed.
+  EXPECT_EQ(a.detect_latency_slots.mean(), b.detect_latency_slots.mean());
+  EXPECT_EQ(a.detect_latency_slots.variance(),
+            b.detect_latency_slots.variance());
+  for (std::size_t k = 0; k < a.tags.size(); ++k) {
+    EXPECT_EQ(a.tags[k].frames_attempted, b.tags[k].frames_attempted);
+    EXPECT_EQ(a.tags[k].frames_delivered, b.tags[k].frames_delivered);
+    EXPECT_EQ(a.tags[k].frames_collided, b.tags[k].frames_collided);
+    EXPECT_EQ(a.tags[k].frames_aborted, b.tags[k].frames_aborted);
+    EXPECT_EQ(a.tags[k].payload_bits_delivered,
+              b.tags[k].payload_bits_delivered);
+    EXPECT_EQ(a.tags[k].energy_outages, b.tags[k].energy_outages);
+    EXPECT_EQ(a.tags[k].harvested_j, b.tags[k].harvested_j);
+    EXPECT_EQ(a.tags[k].spent_j, b.tags[k].spent_j);
+  }
+}
+
+TEST(NetworkSim, TrialIsPureAndDeterministic) {
+  const NetworkSimulator sim(small_config());
+  const auto a = sim.run_trial(3);
+  const auto b = sim.run_trial(3);
+  ASSERT_EQ(a.tags.size(), b.tags.size());
+  EXPECT_EQ(a.busy_slots, b.busy_slots);
+  EXPECT_EQ(a.useful_slots, b.useful_slots);
+  EXPECT_EQ(a.wasted_slots, b.wasted_slots);
+  EXPECT_EQ(a.collisions, b.collisions);
+  for (std::size_t k = 0; k < a.tags.size(); ++k) {
+    EXPECT_EQ(a.tags[k].frames_attempted, b.tags[k].frames_attempted);
+    EXPECT_EQ(a.tags[k].frames_delivered, b.tags[k].frames_delivered);
+    EXPECT_EQ(a.tags[k].harvested_j, b.tags[k].harvested_j);
+  }
+}
+
+TEST(NetworkSim, BitIdenticalAcrossJobCounts) {
+  const NetworkSimulator sim(small_config());
+  const auto j1 = run_with_runner(sim, 5, 1);
+  const auto j8 = run_with_runner(sim, 5, 8);
+  expect_summaries_identical(j1, j8);
+}
+
+TEST(NetworkSim, SingleTagNeverCollides) {
+  auto config = small_config(1);
+  for (const auto kind :
+       {mac::MacKind::kTimeout, mac::MacKind::kCollisionNotify}) {
+    config.mac_kind = kind;
+    const NetworkSimulator sim(config);
+    const auto summary = sim.run(3);
+    EXPECT_EQ(summary.collisions, 0u);
+    EXPECT_EQ(summary.tags[0].frames_collided, 0u);
+    EXPECT_GT(summary.frames_delivered(), 0u);
+    // A lone tag in a clean static channel also decodes everything.
+    EXPECT_EQ(summary.sync_failures, 0u);
+  }
+}
+
+TEST(NetworkSim, StatsInternallyConsistent) {
+  auto config = small_config(6);
+  for (const auto kind :
+       {mac::MacKind::kTimeout, mac::MacKind::kCollisionNotify}) {
+    config.mac_kind = kind;
+    const NetworkSimulator sim(config);
+    const auto summary = sim.run(3);
+    EXPECT_EQ(summary.trials, 3u);
+    EXPECT_EQ(summary.slots, 3u * config.slots_per_trial);
+    EXPECT_LE(summary.busy_slots, summary.slots);
+    EXPECT_LE(summary.wasted_slots, summary.slots);
+    EXPECT_LE(summary.wasted_airtime_fraction(), 1.0);
+    for (const auto& tag : summary.tags) {
+      // Every attempt resolves as at most one of delivered / collided
+      // (aborts count as collided when overlapped).
+      EXPECT_LE(tag.frames_delivered + tag.frames_collided,
+                tag.frames_attempted);
+      EXPECT_LE(tag.frames_delivered, tag.frames_attempted);
+      EXPECT_EQ(tag.payload_bits_delivered,
+                tag.frames_delivered * config.payload_bytes * 8);
+      EXPECT_GT(tag.harvested_j, 0.0);
+      EXPECT_EQ(tag.energy_outages, 0u);  // gating disabled here
+    }
+    if (summary.detect_latency_slots.count() > 0) {
+      EXPECT_GE(summary.detect_latency_slots.min(), 1.0);
+    }
+  }
+}
+
+TEST(NetworkSim, NotifyBeatsTimeoutOnWasteInDenseScenario) {
+  auto timeout_scenario = make_scenario("dense-deployment", 8, 3);
+  timeout_scenario.config.slots_per_trial = 128;
+  timeout_scenario.config.mac_kind = mac::MacKind::kTimeout;
+  auto notify_scenario = timeout_scenario;
+  notify_scenario.config.mac_kind = mac::MacKind::kCollisionNotify;
+
+  const auto timeout = NetworkSimulator(timeout_scenario.config).run(2);
+  const auto notify = NetworkSimulator(notify_scenario.config).run(2);
+  EXPECT_LT(notify.wasted_airtime_fraction(),
+            timeout.wasted_airtime_fraction());
+  EXPECT_LT(notify.mean_detect_latency_slots(),
+            timeout.mean_detect_latency_slots());
+}
+
+TEST(NetworkSim, EnergyGatingProducesOutagesWhenStarved) {
+  auto scenario = make_scenario("energy-starved", 4, 9);
+  scenario.config.slots_per_trial = 96;
+  const NetworkSimulator gated(scenario.config);
+  const auto starved = gated.run(2);
+  EXPECT_GT(starved.energy_outages(), 0u);
+  EXPECT_GT(starved.energy_outage_fraction(), 0.0);
+
+  auto ungated_config = scenario.config;
+  ungated_config.energy_gating = false;
+  const NetworkSimulator ungated(ungated_config);
+  EXPECT_EQ(ungated.run(2).energy_outages(), 0u);
+}
+
+TEST(NetworkSim, SummaryMergeMatchesSequentialAdd) {
+  const NetworkSimulator sim(small_config());
+  NetworkSimSummary whole;
+  NetworkSimSummary first;
+  NetworkSimSummary second;
+  for (std::size_t t = 0; t < 4; ++t) {
+    whole.add(sim.run_trial(t));
+    (t < 2 ? first : second).add(sim.run_trial(t));
+  }
+  NetworkSimSummary merged;  // empty-adopts, then folds in order
+  merged.merge(first);
+  merged.merge(second);
+  // Integer counters merge exactly; the Welford moments merge stably
+  // (same values, different reduction tree -> compare approximately).
+  EXPECT_EQ(whole.trials, merged.trials);
+  EXPECT_EQ(whole.busy_slots, merged.busy_slots);
+  EXPECT_EQ(whole.useful_slots, merged.useful_slots);
+  EXPECT_EQ(whole.wasted_slots, merged.wasted_slots);
+  EXPECT_EQ(whole.collisions, merged.collisions);
+  EXPECT_EQ(whole.sync_failures, merged.sync_failures);
+  EXPECT_EQ(whole.frames_attempted(), merged.frames_attempted());
+  EXPECT_EQ(whole.bits_delivered(), merged.bits_delivered());
+  EXPECT_EQ(whole.detect_latency_slots.count(),
+            merged.detect_latency_slots.count());
+  EXPECT_NEAR(whole.mean_detect_latency_slots(),
+              merged.mean_detect_latency_slots(), 1e-12);
+}
+
+TEST(NetworkSim, SlotGeometryConsistent) {
+  const NetworkSimulator sim(small_config());
+  EXPECT_GT(sim.slot_samples(), 0u);
+  EXPECT_GT(sim.frame_slots(), 0u);
+  EXPECT_GT(sim.slot_seconds(), 0.0);
+  EXPECT_GT(sim.frame_cost_j(), 0.0);
+  // Scene was populated: ambient + receiver + tags.
+  EXPECT_EQ(sim.scene().num_devices(), 2u + sim.num_tags());
+  EXPECT_EQ(sim.scene().find_first(channel::DeviceKind::kAmbientTx),
+            sim.ambient_device());
+  EXPECT_EQ(sim.scene().find_first(channel::DeviceKind::kReceiver),
+            sim.receiver_device());
+}
+
+}  // namespace
+}  // namespace fdb::sim

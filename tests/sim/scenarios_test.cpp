@@ -1,0 +1,76 @@
+#include "sim/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/scene.hpp"
+
+namespace fdb::sim {
+namespace {
+
+TEST(Scenarios, RegistryListsFourScenarios) {
+  const auto& names = scenario_names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "dense-deployment");
+}
+
+TEST(Scenarios, EveryNamedScenarioBuildsASimulator) {
+  for (const auto& name : scenario_names()) {
+    const auto scenario = make_scenario(name);
+    EXPECT_EQ(scenario.name, name);
+    EXPECT_FALSE(scenario.summary.empty());
+    EXPECT_EQ(scenario.config.tags.size(), 8u) << name;
+    // Constructible (asserts internally on inconsistent configs).
+    const NetworkSimulator sim(scenario.config);
+    EXPECT_EQ(sim.num_tags(), 8u);
+  }
+}
+
+TEST(Scenarios, NumTagsOverrideAndSeedPropagate) {
+  const auto scenario = make_scenario("dense-deployment", 12, 99);
+  EXPECT_EQ(scenario.config.tags.size(), 12u);
+  EXPECT_EQ(scenario.config.seed, 99u);
+}
+
+TEST(Scenarios, UnknownNameThrows) {
+  EXPECT_THROW((void)make_scenario("no-such-scenario"),
+               std::invalid_argument);
+}
+
+TEST(Scenarios, GeometryIsDeterministic) {
+  const auto a = make_scenario("near-far", 8, 1);
+  const auto b = make_scenario("near-far", 8, 1);
+  for (std::size_t k = 0; k < a.config.tags.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.config.tags[k].position.x, b.config.tags[k].position.x);
+    EXPECT_DOUBLE_EQ(a.config.tags[k].position.y, b.config.tags[k].position.y);
+  }
+}
+
+TEST(Scenarios, NearFarAlternatesDistances) {
+  const auto scenario = make_scenario("near-far", 8);
+  const auto& config = scenario.config;
+  const double d0 =
+      channel::distance_m(config.tags[0].position, config.receiver_position);
+  const double d1 =
+      channel::distance_m(config.tags[1].position, config.receiver_position);
+  EXPECT_NEAR(d0, 0.8, 1e-9);
+  EXPECT_NEAR(d1, 3.5, 1e-9);
+}
+
+TEST(Scenarios, EnergyStarvedEnablesGating) {
+  const auto scenario = make_scenario("energy-starved");
+  EXPECT_TRUE(scenario.config.energy_gating);
+  EXPECT_LT(scenario.config.storage.capacity_j, 1e-6);
+  EXPECT_FALSE(make_scenario("dense-deployment").config.energy_gating);
+}
+
+TEST(Scenarios, FadingSweepEnablesFadingAndShadowing) {
+  const auto scenario = make_scenario("fading-sweep");
+  EXPECT_EQ(scenario.config.fading, "rayleigh");
+  EXPECT_GT(scenario.config.pathloss.shadowing_sigma_db, 0.0);
+}
+
+}  // namespace
+}  // namespace fdb::sim

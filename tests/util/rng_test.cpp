@@ -148,6 +148,13 @@ TEST(Rng, SubstreamDiffersFromPlainSeed) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(RngDeathTest, UniformIntZeroFailsLoudly) {
+  // Precondition n > 0 must fail with a message in every build mode —
+  // release builds used to reach a division by zero (UB) instead.
+  Rng rng(3);
+  EXPECT_DEATH(rng.uniform_int(0), "n must be > 0|n > 0");
+}
+
 TEST(Rng, ForkProducesIndependentStream) {
   Rng parent(31);
   Rng child = parent.fork();
