@@ -1,0 +1,144 @@
+// E12 — Multi-gateway receive diversity. A backscatter uplink is only
+// as good as its one receiver — unless there is more than one. This
+// experiment runs the multi-gateway-dense scenario three ways (the
+// single-receiver baseline, two gateways with any-gateway
+// macro-diversity, two gateways with best-gateway selection) and shows
+// the delivery-ratio gain a second receive chain buys when weak
+// illumination puts clean frames at the fading margin. A second
+// section walks the gateway-handoff-line corridor and reports which
+// gateway serves each tag.
+#include <string>
+#include <vector>
+
+#include "channel/scene.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenarios.hpp"
+
+namespace {
+
+struct Arm {
+  const char* label;
+  bool two_gateways;
+  fdb::sim::GatewayCombining combining;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/12,
+                                       "network trials per diversity arm");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+  const std::size_t num_tags = 8;
+  const std::uint64_t seed = 17;
+
+  fdb::sim::Report report("e12_gateway_diversity");
+  report.set_run_info(cli.trials, runner.jobs());
+  auto& sec = report.section(
+      "multi-gateway-dense: single receiver vs 2-gateway diversity"
+      " (8 tags, per-gateway receive chains, sample-level verdicts)",
+      {"arm", "gateways", "combining", "attempted", "delivered",
+       "delivery_ratio", "goodput_kbps", "collisions", "sync_failures",
+       "detect_latency", "gw0_decodes", "gw1_decodes"});
+
+  const Arm arms[] = {
+      {"single-receiver", false, fdb::sim::GatewayCombining::kAnyGateway},
+      {"2gw-any", true, fdb::sim::GatewayCombining::kAnyGateway},
+      {"2gw-best", true, fdb::sim::GatewayCombining::kBestGateway},
+  };
+
+  double baseline_ratio = 0.0;
+  double diversity_ratio = 0.0;
+  double baseline_latency = 0.0;
+  double diversity_latency = 0.0;
+  for (const Arm& arm : arms) {
+    auto scenario =
+        fdb::sim::make_scenario("multi-gateway-dense", num_tags, seed);
+    if (!arm.two_gateways) scenario.config.extra_gateways.clear();
+    scenario.config.combining = arm.combining;
+    const fdb::sim::NetworkSimulator sim(scenario.config);
+    const auto summary = runner.run_chunked<fdb::sim::NetworkSimSummary>(
+        cli.trials,
+        [&sim](fdb::sim::NetworkSimSummary& acc, std::size_t trial) {
+          acc.add(sim.run_trial(trial));
+        });
+    const double seconds =
+        static_cast<double>(summary.slots) * sim.slot_seconds();
+    const double goodput_kbps =
+        seconds > 0.0
+            ? static_cast<double>(summary.bits_delivered()) / seconds / 1e3
+            : 0.0;
+    sec.add_row({arm.label, sim.num_gateways(),
+                 arm.combining == fdb::sim::GatewayCombining::kAnyGateway
+                     ? "any"
+                     : "best",
+                 summary.frames_attempted(), summary.frames_delivered(),
+                 summary.delivery_ratio(), goodput_kbps, summary.collisions,
+                 summary.sync_failures, summary.mean_detect_latency_slots(),
+                 summary.gateway_decodes.at(0),
+                 summary.gateway_decodes.size() > 1
+                     ? fdb::sim::ReportCell(summary.gateway_decodes[1])
+                     : fdb::sim::ReportCell("-")});
+    if (std::string(arm.label) == "single-receiver") {
+      baseline_ratio = summary.delivery_ratio();
+      baseline_latency = summary.mean_detect_latency_slots();
+    } else if (std::string(arm.label) == "2gw-any") {
+      diversity_ratio = summary.delivery_ratio();
+      diversity_latency = summary.mean_detect_latency_slots();
+    }
+  }
+
+  // Corridor handoff picture: which gateway serves each tag, and what
+  // each tag actually delivered under best-gateway selection.
+  {
+    auto scenario =
+        fdb::sim::make_scenario("gateway-handoff-line", num_tags, seed);
+    const fdb::sim::NetworkSimulator sim(scenario.config);
+    const auto summary = runner.run_chunked<fdb::sim::NetworkSimSummary>(
+        cli.trials,
+        [&sim](fdb::sim::NetworkSimSummary& acc, std::size_t trial) {
+          acc.add(sim.run_trial(trial));
+        });
+    auto& hand = report.section(
+        "gateway-handoff-line per-tag (best-gateway selection)",
+        {"tag", "dist_gw0_m", "dist_gw1_m", "nearest_gw", "notify_slots",
+         "attempted", "delivered", "delivery_rate"});
+    const auto& scene = sim.scene();
+    for (std::size_t k = 0; k < summary.tags.size(); ++k) {
+      const auto& t = summary.tags[k];
+      const auto& tag_pos = scene.device(sim.tag_device(k)).position;
+      const double d0 = fdb::channel::distance_m(
+          tag_pos, scene.device(sim.gateway_device(0)).position);
+      const double d1 = fdb::channel::distance_m(
+          tag_pos, scene.device(sim.gateway_device(1)).position);
+      const double rate =
+          t.frames_attempted
+              ? static_cast<double>(t.frames_delivered) /
+                    static_cast<double>(t.frames_attempted)
+              : 0.0;
+      hand.add_row_numeric({static_cast<double>(k), d0, d1,
+                            static_cast<double>(sim.nearest_gateway(k)),
+                            static_cast<double>(sim.notify_latency_slots(k)),
+                            static_cast<double>(t.frames_attempted),
+                            static_cast<double>(t.frames_delivered), rate});
+    }
+  }
+
+  report.add_note(
+      "Shape check: any-gateway macro-diversity lifts the dense-scenario"
+      " delivery ratio from " + std::to_string(baseline_ratio) + " to " +
+      std::to_string(diversity_ratio) +
+      " — frames the marginal single receiver loses to independent"
+      " Rayleigh/shadowing draws decode at the other gateway. Collision"
+      " notifications also arrive sooner (mean detect latency " +
+      std::to_string(baseline_latency) + " -> " +
+      std::to_string(diversity_latency) +
+      " slots) because the earliest — closest — gateway notifies.");
+  report.add_note(
+      "Every gateway runs its own AWGN fork, RC envelope state and"
+      " batched FdDataReceiver over the shared per-slot tag reflections"
+      " synthesized by the arena-backed WaveformSynthesizer; the"
+      " combining policy only decides which decodes count.");
+  return report.emit(cli) ? 0 : 1;
+}

@@ -11,8 +11,7 @@ namespace fdb::channel {
 CwSource::CwSource(double phase_drift_rad_per_sample)
     : drift_(phase_drift_rad_per_sample) {}
 
-void CwSource::generate(std::size_t n, std::vector<cf32>& out) {
-  out.resize(n);
+void CwSource::generate(std::span<cf32> out) {
   for (auto& sample : out) {
     sample = {static_cast<float>(std::cos(phase_)),
               static_cast<float>(std::sin(phase_))};
@@ -77,9 +76,8 @@ void OfdmTvSource::make_symbol() {
   pos_ = 0;
 }
 
-void OfdmTvSource::generate(std::size_t n, std::vector<cf32>& out) {
-  out.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
+void OfdmTvSource::generate(std::span<cf32> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
     if (pos_ >= symbol_.size()) make_symbol();
     out[i] = symbol_[pos_++];
   }

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,16 @@ class AmbientSource {
  public:
   virtual ~AmbientSource() = default;
 
-  /// Produces the next n baseband samples (unit average power).
-  virtual void generate(std::size_t n, std::vector<cf32>& out) = 0;
+  /// Fills `out` with the next out.size() baseband samples (unit
+  /// average power). Batch-first primary so callers can stream into
+  /// arena scratch without allocation.
+  virtual void generate(std::span<cf32> out) = 0;
+
+  /// Convenience: resizes `out` to n and fills it.
+  void generate(std::size_t n, std::vector<cf32>& out) {
+    out.resize(n);
+    generate(std::span<cf32>(out));
+  }
 
   /// Restarts the source deterministically.
   virtual void reset() = 0;
@@ -45,7 +54,8 @@ class CwSource final : public AmbientSource {
   /// `phase_drift_rad_per_sample` models oscillator drift; 0 = ideal.
   explicit CwSource(double phase_drift_rad_per_sample = 0.0);
 
-  void generate(std::size_t n, std::vector<cf32>& out) override;
+  using AmbientSource::generate;
+  void generate(std::span<cf32> out) override;
   void reset() override;
   const char* name() const override { return "cw"; }
 
@@ -66,7 +76,8 @@ class OfdmTvSource final : public AmbientSource {
  public:
   explicit OfdmTvSource(OfdmParams params);
 
-  void generate(std::size_t n, std::vector<cf32>& out) override;
+  using AmbientSource::generate;
+  void generate(std::span<cf32> out) override;
   void reset() override;
   const char* name() const override { return "ofdm_tv"; }
 

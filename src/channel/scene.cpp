@@ -62,4 +62,12 @@ std::size_t Scene::find_first(DeviceKind kind) const {
   return SIZE_MAX;
 }
 
+std::vector<std::size_t> Scene::find_all(DeviceKind kind) const {
+  std::vector<std::size_t> found;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].kind == kind) found.push_back(i);
+  }
+  return found;
+}
+
 }  // namespace fdb::channel

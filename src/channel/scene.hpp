@@ -70,6 +70,10 @@ class Scene {
   /// First device of the given kind; SIZE_MAX if absent.
   std::size_t find_first(DeviceKind kind) const;
 
+  /// All devices of the given kind, in insertion order — e.g. every
+  /// receive gateway of a diversity deployment.
+  std::vector<std::size_t> find_all(DeviceKind kind) const;
+
  private:
   LogDistanceModel pathloss_;
   std::uint64_t shadowing_seed_;

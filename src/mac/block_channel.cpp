@@ -23,17 +23,15 @@ bool IidBlockChannel::feedback_flipped() {
 }
 
 bool TraceBlockChannel::block_corrupted(std::size_t) {
-  if (!blocks_.empty()) {
-    last_block_ = blocks_.front();
-    blocks_.pop_front();
+  if (block_cursor_ < blocks_.size()) {
+    last_block_ = blocks_[block_cursor_++];
   }
   return last_block_;
 }
 
 bool TraceBlockChannel::feedback_flipped() {
-  if (!flips_.empty()) {
-    last_flip_ = flips_.front();
-    flips_.pop_front();
+  if (flip_cursor_ < flips_.size()) {
+    last_flip_ = flips_[flip_cursor_++];
   }
   return last_flip_;
 }

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -42,7 +42,13 @@ class IidBlockChannel final : public BlockChannel {
 
 /// Replays pre-recorded verdicts (e.g. produced by sim::LinkSimulator).
 /// When a queue runs dry the channel repeats its last answer, keeping
-/// long protocol runs well-defined.
+/// long protocol runs well-defined; verdicts pushed after a dry spell
+/// are consumed next, in push order.
+///
+/// Storage is an append-only vector walked by a cursor rather than a
+/// deque: traces are pushed in bulk and consumed once, so the
+/// pop-per-verdict deque paid per-node bookkeeping for flexibility this
+/// access pattern never uses.
 class TraceBlockChannel final : public BlockChannel {
  public:
   TraceBlockChannel() = default;
@@ -54,8 +60,10 @@ class TraceBlockChannel final : public BlockChannel {
   bool feedback_flipped() override;
 
  private:
-  std::deque<bool> blocks_;
-  std::deque<bool> flips_;
+  std::vector<bool> blocks_;
+  std::vector<bool> flips_;
+  std::size_t block_cursor_ = 0;
+  std::size_t flip_cursor_ = 0;
   bool last_block_ = false;
   bool last_flip_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace fdb::mac {
@@ -33,6 +34,13 @@ std::size_t draw_backoff(Rng& rng, std::size_t min_slots,
                          std::size_t exponent, std::size_t max_exponent) {
   const std::size_t window = beb_window(min_slots, exponent, max_exponent);
   return 1 + static_cast<std::size_t>(rng.uniform_int(window));
+}
+
+std::size_t notify_latency_slots(std::size_t base_delay_slots,
+                                 double distance_m, double slots_per_m) {
+  assert(distance_m >= 0.0 && slots_per_m >= 0.0);
+  return base_delay_slots +
+         static_cast<std::size_t>(std::llround(distance_m * slots_per_m));
 }
 
 CollisionStats run_collision_sim(MacKind kind,

@@ -84,6 +84,15 @@ std::size_t beb_window(std::size_t min_slots, std::size_t exponent,
 std::size_t draw_backoff(Rng& rng, std::size_t min_slots,
                          std::size_t exponent, std::size_t max_exponent);
 
+/// Collision-notification latency of one receiver: the base detection
+/// delay plus a distance-scaled propagation/processing term, in block
+/// slots. With several receive gateways a tag aborts on the earliest
+/// notification, so the effective latency is the minimum of this over
+/// the gateways — i.e. the closest one's. `slots_per_m == 0` keeps the
+/// legacy distance-independent latency.
+std::size_t notify_latency_slots(std::size_t base_delay_slots,
+                                 double distance_m, double slots_per_m);
+
 /// Runs the slotted contention simulation for the selected MAC.
 CollisionStats run_collision_sim(MacKind kind,
                                  const CollisionSimParams& params);

@@ -7,7 +7,6 @@
 
 #include "channel/ambient_source.hpp"
 #include "channel/fading.hpp"
-#include "dsp/envelope.hpp"
 #include "util/bits.hpp"
 
 namespace fdb::sim {
@@ -25,11 +24,22 @@ LinkSimulator::LinkSimulator(LinkSimConfig config)
       fb_rx_(config.modem),
       fb_tx_(config.modem.data.rates, config.modem.feedback),
       modulator_(channel::ReflectionStates::ook(config.reflection_rho)),
-      harvester_() {
+      harvester_(),
+      synth_(config.modem.data.rates, config.envelope_cutoff_mult) {
   assert(config_.modem.consistent());
 }
 
 TrialResult LinkSimulator::run_trial(std::uint64_t trial_index) const {
+  // One warm arena per thread: disjoint trials may run concurrently on
+  // one simulator, and after warm-up no trial touches the heap for
+  // synthesis scratch.
+  thread_local SynthArena arena;
+  return run_trial(trial_index, arena);
+}
+
+TrialResult LinkSimulator::run_trial(std::uint64_t trial_index,
+                                     SynthArena& arena) const {
+  arena.reset();
   TrialResult result;
   const auto& rates = config_.modem.data.rates;
 
@@ -96,8 +106,8 @@ TrialResult LinkSimulator::run_trial(std::uint64_t trial_index) const {
   const auto c_self = static_cast<float>(config_.self_coupling);
 
   // ---- sample streams -------------------------------------------------
-  std::vector<cf32> ambient;
-  source->generate(total, ambient);
+  auto ambient = arena.alloc<cf32>(total);
+  source->generate(ambient);
 
   const double noise_power = config_.noise_power_w();
   channel::AwgnChannel noise_a(noise_power, rng.fork());
@@ -136,51 +146,42 @@ TrialResult LinkSimulator::run_trial(std::uint64_t trial_index) const {
     }
   }
 
-  // The post-diode RC must pass chip transitions: cutoff a few times the
-  // chip rate, capped below Nyquist.
-  const double chip_rate = rates.sample_rate_hz /
-                           static_cast<double>(rates.samples_per_chip);
-  const double cutoff = std::min(chip_rate * config_.envelope_cutoff_mult,
-                                 rates.sample_rate_hz * 0.45);
-  dsp::EnvelopeDetector env_a(cutoff, rates.sample_rate_hz);
-  dsp::EnvelopeDetector env_b = env_a;
+  // The whole receive chain — CFO/multipath carrier shaping, incident
+  // fields, state-keyed reflections, inter-device coupling, AWGN, RC
+  // envelope — runs as batch kernels in the shared synthesis engine
+  // (bit-identical to the historical per-sample loop).
+  LinkSynthSpec spec;
+  spec.ambient = ambient;
+  spec.states_a = states_a;
+  spec.states_b = states_b;
+  spec.modulator = &modulator_;
+  spec.h_sa = h_sa;
+  spec.h_sb = h_sb;
+  spec.h_ab = h_ab;
+  spec.self_coupling = c_self;
+  spec.cfo = config_.cfo_hz != 0.0 ? &cfo : nullptr;
+  spec.multipath_a = mp_a ? &*mp_a : nullptr;
+  spec.multipath_b = mp_b ? &*mp_b : nullptr;
+  spec.noise_a = &noise_a;
+  spec.noise_b = &noise_b;
+  if (has_interferer) {
+    spec.states_c = states_c;
+    spec.interferer_coupling = static_cast<float>(h_ic);
+    spec.h_sc = h_sc;
+  }
+  const LinkSynthResult streams = synth_.synthesize_link(spec, arena);
+  const std::span<const float> envelope_a = streams.envelope_a;
+  const std::span<const float> envelope_b = streams.envelope_b;
 
-  std::vector<float> envelope_a(total);
-  std::vector<float> envelope_b(total);
+  // Energy bookkeeping at B: what the antenna absorbs in each state.
   double incident_sum = 0.0;
   double harvested = 0.0;
   const double dt = 1.0 / rates.sample_rate_hz;
-
   for (std::size_t n = 0; n < total; ++n) {
-    const cf32 s = config_.cfo_hz != 0.0 ? cfo.process(ambient[n])
-                                         : ambient[n];
-    const cf32 inc_a = h_sa * (mp_a ? mp_a->process(s) : s);
-    const cf32 inc_b = h_sb * (mp_b ? mp_b->process(s) : s);
-    const bool ga = states_a[n] != 0;
-    const bool gb = states_b[n] != 0;
-    const cf32 refl_a = modulator_.reflect(inc_a, ga);
-    const cf32 refl_b = modulator_.reflect(inc_b, gb);
-
-    cf32 interference{};
-    if (has_interferer) {
-      const cf32 inc_c = h_sc * s;
-      interference = static_cast<float>(h_ic) *
-                     modulator_.reflect(inc_c, states_c[n] != 0);
-    }
-
-    const cf32 y_a = noise_a.process(inc_a + h_ab * refl_b +
-                                     c_self * refl_a + interference);
-    const cf32 y_b = noise_b.process(inc_b + h_ab * refl_a +
-                                     c_self * refl_b + interference);
-
-    envelope_a[n] = env_a.process(y_a);
-    envelope_b[n] = env_b.process(y_b);
-
-    // Energy bookkeeping at B: what the antenna absorbs in this state.
-    const double p_inc = std::norm(inc_b);
+    const double p_inc = std::norm(streams.incident_b[n]);
     incident_sum += p_inc;
     harvested += harvester_.harvest(
-        p_inc * modulator_.harvest_fraction(gb), dt);
+        p_inc * modulator_.harvest_fraction(states_b[n] != 0), dt);
   }
   result.incident_power_w = incident_sum / static_cast<double>(total);
   result.harvested_j = harvested;

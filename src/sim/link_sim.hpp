@@ -29,6 +29,7 @@
 #include "channel/pathloss.hpp"
 #include "core/fd_modem.hpp"
 #include "energy/harvester.hpp"
+#include "sim/synthesis.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -144,7 +145,16 @@ class LinkSimulator {
   /// no matter which thread runs it or in what order — the contract the
   /// parallel ExperimentRunner (sim/runner.hpp) is built on. Safe to
   /// call concurrently from many threads on one simulator.
+  ///
+  /// This overload reuses a per-thread SynthArena for the synthesis
+  /// scratch, so steady-state trials perform no heap allocation in the
+  /// sample-domain hot path.
   TrialResult run_trial(std::uint64_t trial_index) const;
+
+  /// As above with caller-provided synthesis scratch: the arena is
+  /// reset on entry and only grows during warm-up. One arena per
+  /// concurrent caller — the arena itself is not thread-safe.
+  TrialResult run_trial(std::uint64_t trial_index, SynthArena& arena) const;
 
   /// Runs trials [0, n) serially and aggregates. Equivalent trial-set
   /// to ExperimentRunner::run at any job count.
@@ -165,6 +175,7 @@ class LinkSimulator {
   core::FeedbackEncoder fb_tx_;
   channel::BackscatterModulator modulator_;
   energy::Harvester harvester_;
+  WaveformSynthesizer synth_;
 };
 
 }  // namespace fdb::sim

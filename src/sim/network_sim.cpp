@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
 
 #include "channel/ambient_source.hpp"
 #include "channel/fading.hpp"
@@ -14,7 +17,7 @@ namespace {
 
 /// Runtime state of one tag inside a trial. The slot-domain machine
 /// mirrors mac/collision.cpp, but verdicts come from the PHY decode of
-/// the synthesized receiver stream instead of the abstract collided
+/// the synthesized gateway streams instead of the abstract collided
 /// flag, and starts are gated by the energy store.
 struct TagRt {
   enum class St { kBackoff, kTx, kWaitVerdict };
@@ -47,6 +50,29 @@ double NetworkSimConfig::noise_power_w() const {
                                       noise_figure_db);
 }
 
+void NetworkSimConfig::validate() const {
+  if (tags.empty()) {
+    throw std::invalid_argument(
+        "NetworkSimConfig: tags must be non-empty (a network needs at "
+        "least one tag)");
+  }
+  if (!(tx_power_w > 0.0)) {
+    throw std::invalid_argument(
+        "NetworkSimConfig: tx_power_w must be positive, got " +
+        std::to_string(tx_power_w));
+  }
+  if (carrier != "cw" && carrier != "ofdm_tv") {
+    throw std::invalid_argument(
+        "NetworkSimConfig: unknown carrier \"" + carrier +
+        "\" (expected \"cw\" or \"ofdm_tv\")");
+  }
+  if (fading != "static" && fading != "rayleigh" && fading != "rician") {
+    throw std::invalid_argument(
+        "NetworkSimConfig: unknown fading \"" + fading +
+        "\" (expected \"static\", \"rayleigh\" or \"rician\")");
+  }
+}
+
 void NetworkTagStats::merge(const NetworkTagStats& other) {
   frames_attempted += other.frames_attempted;
   frames_delivered += other.frames_delivered;
@@ -62,6 +88,13 @@ void NetworkSimSummary::add(const NetworkTrialResult& trial) {
   if (tags.empty()) tags.resize(trial.tags.size());
   assert(tags.size() == trial.tags.size());
   for (std::size_t k = 0; k < tags.size(); ++k) tags[k].merge(trial.tags[k]);
+  if (gateway_decodes.empty()) {
+    gateway_decodes.resize(trial.gateway_decodes.size());
+  }
+  assert(gateway_decodes.size() == trial.gateway_decodes.size());
+  for (std::size_t g = 0; g < gateway_decodes.size(); ++g) {
+    gateway_decodes[g] += trial.gateway_decodes[g];
+  }
   ++trials;
   slots += trial.slots;
   busy_slots += trial.busy_slots;
@@ -77,6 +110,13 @@ void NetworkSimSummary::merge(const NetworkSimSummary& other) {
   if (tags.empty()) tags.resize(other.tags.size());
   assert(tags.size() == other.tags.size());
   for (std::size_t k = 0; k < tags.size(); ++k) tags[k].merge(other.tags[k]);
+  if (gateway_decodes.empty()) {
+    gateway_decodes.resize(other.gateway_decodes.size());
+  }
+  assert(gateway_decodes.size() == other.gateway_decodes.size());
+  for (std::size_t g = 0; g < gateway_decodes.size(); ++g) {
+    gateway_decodes[g] += other.gateway_decodes[g];
+  }
   trials += other.trials;
   slots += other.slots;
   busy_slots += other.busy_slots;
@@ -111,6 +151,13 @@ std::uint64_t NetworkSimSummary::energy_outages() const {
   return n;
 }
 
+double NetworkSimSummary::delivery_ratio() const {
+  const std::uint64_t attempted = frames_attempted();
+  return attempted ? static_cast<double>(frames_delivered()) /
+                         static_cast<double>(attempted)
+                   : 0.0;
+}
+
 double NetworkSimSummary::energy_outage_fraction() const {
   const std::uint64_t outages = energy_outages();
   const std::uint64_t denom = outages + frames_attempted();
@@ -123,15 +170,21 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
       scene_(config_.pathloss, config_.shadowing_seed),
       tx_(config_.modem),
       rx_(config_.modem),
-      harvester_(config_.harvester) {
-  assert(!config_.tags.empty());
+      harvester_(config_.harvester),
+      synth_(config_.modem.data.rates, config_.envelope_cutoff_mult) {
+  config_.validate();
   assert(config_.modem.consistent());
   assert(config_.slots_per_trial > 0);
 
   ambient_device_ = scene_.add_device(
       {"ambient", channel::DeviceKind::kAmbientTx, config_.ambient_position});
-  receiver_device_ = scene_.add_device(
-      {"rx", channel::DeviceKind::kReceiver, config_.receiver_position});
+  // Device order is part of the determinism contract: the pair-keyed
+  // shadowing substream hashes device indices, so extra gateways append
+  // AFTER the tags — a single-gateway deployment keeps every historical
+  // index (ambient 0, rx 1, tags 2..) and therefore every shadowing
+  // draw.
+  gateway_device_.push_back(scene_.add_device(
+      {"rx", channel::DeviceKind::kReceiver, config_.receiver_position}));
   tag_device_.reserve(config_.tags.size());
   modulators_.reserve(config_.tags.size());
   for (std::size_t k = 0; k < config_.tags.size(); ++k) {
@@ -140,6 +193,30 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
                                              config_.tags[k].position}));
     modulators_.emplace_back(
         channel::ReflectionStates::ook(config_.tags[k].reflection_rho));
+  }
+  for (std::size_t g = 0; g < config_.extra_gateways.size(); ++g) {
+    gateway_device_.push_back(
+        scene_.add_device({"gw" + std::to_string(g + 1),
+                           channel::DeviceKind::kReceiver,
+                           config_.extra_gateways[g]}));
+  }
+
+  // Per-tag earliest collision-notification latency: each gateway
+  // notifies mac::notify_latency_slots(base, distance, slope) after the
+  // overlap begins; the tag aborts on whichever arrives first (the
+  // closest gateway's).
+  notify_slots_.reserve(config_.tags.size());
+  for (std::size_t k = 0; k < config_.tags.size(); ++k) {
+    std::size_t best = SIZE_MAX;
+    for (const std::size_t gw : gateway_device_) {
+      const double dist = channel::distance_m(
+          scene_.device(tag_device_[k]).position, scene_.device(gw).position);
+      best = std::min(best,
+                      mac::notify_latency_slots(config_.notify_delay_slots,
+                                                dist,
+                                                config_.notify_slots_per_m));
+    }
+    notify_slots_.push_back(best);
   }
 
   const auto& rates = config_.modem.data.rates;
@@ -155,16 +232,42 @@ double NetworkSimulator::slot_seconds() const {
          config_.modem.data.rates.sample_rate_hz;
 }
 
+std::size_t NetworkSimulator::nearest_gateway(std::size_t k) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < gateway_device_.size(); ++g) {
+    const double dist = channel::distance_m(
+        scene_.device(tag_device_.at(k)).position,
+        scene_.device(gateway_device_[g]).position);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = g;
+    }
+  }
+  return best;
+}
+
 NetworkTrialResult NetworkSimulator::run_trial(
     std::uint64_t trial_index) const {
-  const auto& rates = config_.modem.data.rates;
+  // One warm arena per thread: disjoint trials may run concurrently on
+  // one simulator, and after warm-up no trial touches the heap for
+  // synthesis scratch.
+  thread_local SynthArena arena;
+  return run_trial(trial_index, arena);
+}
+
+NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
+                                               SynthArena& arena) const {
+  arena.reset();
   const std::size_t n_tags = config_.tags.size();
+  const std::size_t n_gw = gateway_device_.size();
   const std::size_t slots = config_.slots_per_trial;
   const std::size_t total = slots * slot_samples_;
   const double dt = slot_seconds();
 
   NetworkTrialResult res;
   res.tags.resize(n_tags);
+  res.gateway_decodes.resize(n_gw);
   res.slots = slots;
 
   // Everything stochastic about this trial lives on the stack, keyed by
@@ -174,49 +277,82 @@ NetworkTrialResult NetworkSimulator::run_trial(
 
   // Per-link complex gains for this trial: shadowing redraws reciprocally
   // per coherence block (= trial) inside the scene; small-scale fading
-  // draws come from the trial generator in fixed link order.
+  // draws come from the trial generator in fixed link order — gateways
+  // first, then per tag the ambient->tag gain followed by that tag's
+  // gain to every gateway (a single-gateway config reproduces the
+  // historical draw sequence exactly).
   auto fading = channel::make_fading(config_.fading, rng);
   const auto fade_draw = [&]() {
     fading->next_block(rng);
     return fading->gain();
   };
   const double amp_tx = std::sqrt(config_.tx_power_w);
-  const cf32 h_sr =
-      fade_draw() *
-      static_cast<float>(amp_tx * scene_.amplitude_gain(
-                                      ambient_device_, receiver_device_,
-                                      trial_index));
-  std::vector<cf32> h_st(n_tags);  // ambient -> tag (includes tx power)
-  std::vector<cf32> h_tr(n_tags);  // tag -> receiver
+  auto h_sr = arena.alloc<cf32>(n_gw);  // ambient -> gateway leakage
+  for (std::size_t g = 0; g < n_gw; ++g) {
+    h_sr[g] = fade_draw() *
+              static_cast<float>(amp_tx * scene_.amplitude_gain(
+                                              ambient_device_,
+                                              gateway_device_[g],
+                                              trial_index));
+  }
+  auto h_st = arena.alloc<cf32>(n_tags);         // ambient -> tag (w/ power)
+  auto h_tr = arena.alloc<cf32>(n_tags * n_gw);  // tag -> gateway, tag-major
   for (std::size_t k = 0; k < n_tags; ++k) {
     h_st[k] = fade_draw() *
               static_cast<float>(amp_tx * scene_.amplitude_gain(
                                               ambient_device_, tag_device_[k],
                                               trial_index));
-    h_tr[k] = fade_draw() *
-              static_cast<float>(scene_.amplitude_gain(
-                  tag_device_[k], receiver_device_, trial_index));
+    for (std::size_t g = 0; g < n_gw; ++g) {
+      h_tr[k * n_gw + g] =
+          fade_draw() *
+          static_cast<float>(scene_.amplitude_gain(
+              tag_device_[k], gateway_device_[g], trial_index));
+    }
+  }
+
+  // Serving gateway per tag (kBestGateway): strongest tag->gateway link
+  // of this trial, fading and shadowing included; ties to the lowest
+  // index. A single gateway always serves.
+  auto serving = arena.alloc<std::size_t>(n_tags);
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    std::size_t best = 0;
+    float best_mag = std::abs(h_tr[k * n_gw]);
+    for (std::size_t g = 1; g < n_gw; ++g) {
+      const float mag = std::abs(h_tr[k * n_gw + g]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = g;
+      }
+    }
+    serving[k] = best;
   }
 
   // Ambient carrier realisation for the whole trial, so any decode
   // window is a pure history lookup.
-  std::vector<cf32> ambient;
-  source->generate(total, ambient);
+  auto ambient = arena.alloc<cf32>(total);
+  source->generate(ambient);
 
-  channel::AwgnChannel noise(config_.noise_power_w(), rng.fork());
-  const double chip_rate =
-      rates.sample_rate_hz / static_cast<double>(rates.samples_per_chip);
-  const double cutoff =
-      std::min(chip_rate * config_.envelope_cutoff_mult,
-               rates.sample_rate_hz * 0.45);
-  dsp::EnvelopeDetector env(cutoff, rates.sample_rate_hz);
-  std::vector<float> env_buf(total);
-  std::vector<cf32> rx_slot(slot_samples_);  // per-slot synthesis scratch
+  // Per-gateway receive chains: AWGN (one fork per gateway, in index
+  // order), RC envelope state carried across slots, and a full-trial
+  // envelope history each. Trivially-destructible objects are
+  // placement-constructed into arena scratch.
+  auto noise = arena.alloc<channel::AwgnChannel>(n_gw);
+  auto envelopes = arena.alloc<dsp::EnvelopeDetector>(n_gw);
+  static_assert(std::is_trivially_destructible_v<channel::AwgnChannel>);
+  static_assert(std::is_trivially_destructible_v<dsp::EnvelopeDetector>);
+  const double noise_power = config_.noise_power_w();
+  for (std::size_t g = 0; g < n_gw; ++g) {
+    std::construct_at(&noise[g], noise_power, rng.fork());
+    std::construct_at(&envelopes[g], synth_.make_envelope());
+  }
+  auto env_buf = arena.alloc_zeroed<float>(n_gw * total);
+  auto rx_slot = arena.alloc<cf32>(n_gw * slot_samples_);
 
   // Decode windows reach a couple of chips past the burst (RC group
   // delay shifts sync late by a fraction of a chip), never a full slot:
   // keeping the tail short stops a back-to-back successor frame's
   // preamble from entering this frame's sync search.
+  const auto& rates = config_.modem.data.rates;
   const std::size_t tail_samples = 2 * rates.samples_per_bit();
 
   std::vector<TagRt> rt;
@@ -238,21 +374,35 @@ NetworkTrialResult NetworkSimulator::run_trial(
   std::vector<std::size_t> active;
   active.reserve(n_tags);
 
-  // Decodes tag k's completed frame from the receiver's envelope history
-  // and applies the verdict to stats + MAC state. `learn_slot` is when
-  // the transmitter hears the outcome (for the latency metric).
+  // Decodes tag k's completed frame from every gateway's envelope
+  // history and applies the combining policy to stats + MAC state.
+  // `learn_slot` is when the transmitter hears the outcome (for the
+  // latency metric).
   const auto resolve_verdict = [&](std::size_t k, std::uint64_t learn_slot,
                                    bool update_mac) {
     TagRt& tag = rt[k];
     const std::size_t lo =
         static_cast<std::size_t>(tag.start_slot) * slot_samples_;
     const std::size_t hi = std::min(total, lo + burst_samples_ + tail_samples);
-    const core::FdRxResult r = rx_.demodulate(
-        std::span<const float>(env_buf).subspan(lo, hi - lo), {},
-        config_.payload_bytes);
-    const bool delivered = r.status != Status::kSyncNotFound &&
+    bool any_decoded = false;
+    bool serving_decoded = false;
+    for (std::size_t g = 0; g < n_gw; ++g) {
+      const auto history =
+          std::span<const float>(env_buf).subspan(g * total, total);
+      const core::FdRxResult r = rx_.demodulate(
+          history.subspan(lo, hi - lo), {}, config_.payload_bytes);
+      const bool decoded = r.status != Status::kSyncNotFound &&
                            r.blocks.blocks_failed == 0 &&
                            r.blocks.payload == tag.payload;
+      if (decoded) {
+        ++res.gateway_decodes[g];
+        any_decoded = true;
+        if (g == serving[k]) serving_decoded = true;
+      }
+    }
+    const bool delivered = config_.combining == GatewayCombining::kAnyGateway
+                               ? any_decoded
+                               : serving_decoded;
     if (delivered) {
       ++res.tags[k].frames_delivered;
       res.tags[k].payload_bits_delivered += config_.payload_bytes * 8;
@@ -317,30 +467,31 @@ NetworkTrialResult NetworkSimulator::run_trial(
       ++idle_wait_slots;  // dead air while timers / verdict drains run
     }
 
-    // Slot synthesis runs on the batch kernels: direct ambient leakage,
-    // then each active tag's reflection folded in as a per-state
-    // coupling coefficient (h_tag->rx * Gamma(state) * h_ambient->tag),
-    // then the batched AWGN and RC-envelope spans.
+    // Slot synthesis runs on the shared batch kernels: every gateway
+    // hears the same per-slot tag reflections — direct ambient leakage,
+    // then each active tag folded in as a per-state coupling
+    // coefficient (h_tag->gw * Gamma(state) * h_ambient->tag) — through
+    // its own link gains, AWGN fork and RC envelope state.
     const std::size_t base = static_cast<std::size_t>(slot) * slot_samples_;
-    for (std::size_t i = 0; i < slot_samples_; ++i) {
-      rx_slot[i] = h_sr * ambient[base + i];
-    }
-    for (const std::size_t k : active) {
-      const TagRt& tag = rt[k];
-      const auto& gamma = modulators_[k].states();
-      const cf32 c_on = h_tr[k] * gamma.gamma_reflect * h_st[k];
-      const cf32 c_off = h_tr[k] * gamma.gamma_absorb * h_st[k];
-      const std::size_t off0 =
-          static_cast<std::size_t>(slot - tag.start_slot) * slot_samples_;
-      for (std::size_t i = 0; i < slot_samples_; ++i) {
-        const std::size_t off = off0 + i;
-        const bool g = off < tag.states.size() && tag.states[off] != 0;
-        rx_slot[i] += (g ? c_on : c_off) * ambient[base + i];
+    const auto carrier =
+        std::span<const cf32>(ambient).subspan(base, slot_samples_);
+    for (std::size_t g = 0; g < n_gw; ++g) {
+      const auto gw_slot = rx_slot.subspan(g * slot_samples_, slot_samples_);
+      WaveformSynthesizer::apply_gain(carrier, h_sr[g], gw_slot);
+      for (const std::size_t k : active) {
+        const TagRt& tag = rt[k];
+        const auto& gamma = modulators_[k].states();
+        const cf32 c_on = h_tr[k * n_gw + g] * gamma.gamma_reflect * h_st[k];
+        const cf32 c_off = h_tr[k * n_gw + g] * gamma.gamma_absorb * h_st[k];
+        const std::size_t off0 =
+            static_cast<std::size_t>(slot - tag.start_slot) * slot_samples_;
+        WaveformSynthesizer::add_keyed_reflection(carrier, tag.states, off0,
+                                                  c_on, c_off, gw_slot);
       }
+      noise[g].process(gw_slot, gw_slot);
+      envelopes[g].process(
+          gw_slot, env_buf.subspan(g * total + base, slot_samples_));
     }
-    noise.process(rx_slot, rx_slot);
-    env.process(rx_slot,
-                std::span<float>(env_buf).subspan(base, slot_samples_));
 
     for (std::size_t k = 0; k < n_tags; ++k) {
       TagRt& tag = rt[k];
@@ -391,11 +542,11 @@ NetworkTrialResult NetworkSimulator::run_trial(
         continue;
       }
       if (fd && tag.overlapped &&
-          slot - tag.overlap_start + 1 >= config_.notify_delay_slots) {
-        // Receiver's collision notification arrived (notify_delay_slots
-        // after the overlap began, not after the frame started —
-        // mid-frame collision victims wait the full notification
-        // latency too): abort now.
+          slot - tag.overlap_start + 1 >= notify_slots_[k]) {
+        // The earliest gateway's collision notification arrived
+        // (notify_slots_[k] block-times after the overlap began, not
+        // after the frame started — mid-frame collision victims wait
+        // the full notification latency too): abort now.
         ++res.tags[k].frames_aborted;
         ++res.tags[k].frames_collided;
         ++res.collisions;

@@ -1,8 +1,8 @@
 // Network-scale scenario engine: N backscatter tags contending for one
-// receiver under one ambient illuminator, with the MAC driving *which
-// tags reflect when* and the sample-level PHY deciding *what actually
-// decodes*. This is the layer that turns the repo from a link
-// reproduction into a network simulator:
+// or more receive gateways under one ambient illuminator, with the MAC
+// driving *which tags reflect when* and the sample-level PHY deciding
+// *what actually decodes*. This is the layer that turns the repo from a
+// link reproduction into a network simulator:
 //
 //  * geometry comes from channel::Scene (positions -> per-link gains,
 //    with reciprocal pair-keyed shadowing redrawn per trial),
@@ -10,22 +10,37 @@
 //    (TimeoutMac vs CollisionNotifyMac, binary-exponential backoff),
 //    but delivery verdicts are NOT the abstract !collided flag: every
 //    completed frame is synthesized as antenna states reflecting the
-//    shared ambient carrier, summed at the receiver with the other
+//    shared ambient carrier, summed at each gateway with the other
 //    tags' reflections, envelope-detected through the RC front end and
 //    decoded by the batched FdDataReceiver. Collisions therefore
 //    corrupt real sample streams, and capture (a strong tag decoding
 //    through a weak interferer) emerges instead of being assumed,
+//  * receive diversity: `extra_gateways` adds receivers beyond the
+//    primary one. Every gateway hears the same per-slot tag
+//    reflections through its own Scene link gains, runs its own AWGN +
+//    RC + FdDataReceiver chain, and a combining policy decides frame
+//    delivery — kAnyGateway (macro-diversity: any decode counts) or
+//    kBestGateway (the strongest tag->gateway link this trial is the
+//    serving gateway and alone decides). Collision notifications are
+//    per-gateway too: each gateway notifies after `notify_delay_slots`
+//    plus a distance-scaled term, and a colliding tag aborts on the
+//    earliest — i.e. the closest gateway's — notification,
 //  * each tag carries a Harvester + Storage + EnergyLedger; when energy
 //    gating is enabled a tag may only start a frame it can afford, and
 //    browns out mid-frame if harvest cannot cover the switch drive.
 //
+// The sample-domain physics (carrier -> reflection -> link gain -> AWGN
+// -> RC envelope) lives in the shared sim/synthesis.hpp engine; this
+// file is the slot-domain orchestration shell over it. All per-trial
+// synthesis scratch comes from a SynthArena, so steady-state trials do
+// not touch the heap in the synthesis hot path.
+//
 // One slot = one protocol block-time (= one feedback slot of the rate
 // asymmetry). A frame occupies ceil(burst_samples / slot_samples)
-// slots. The CollisionNotify MAC aborts a collided tag
-// `notify_delay_slots` block-times after the overlap begins and spends
-// one drain slot per frame waiting for the final block verdict; the
-// Timeout MAC always transmits the whole frame and then idles through
-// an ACK timeout.
+// slots. The CollisionNotify MAC aborts a collided tag on notification
+// and spends one drain slot per frame waiting for the final block
+// verdict; the Timeout MAC always transmits the whole frame and then
+// idles through an ACK timeout.
 //
 // run_trial(i) is pure: all randomness derives from
 // Rng::substream(seed, i), so the parallel ExperimentRunner merges
@@ -45,6 +60,7 @@
 #include "energy/ledger.hpp"
 #include "energy/storage.hpp"
 #include "mac/collision.hpp"
+#include "sim/synthesis.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -56,13 +72,26 @@ struct NetworkTagConfig {
   double reflection_rho = 0.4;  // fraction of incident power reflected
 };
 
+/// How multiple gateways turn per-gateway decodes into one delivery
+/// verdict.
+enum class GatewayCombining {
+  kAnyGateway,   ///< macro-diversity: delivered if any gateway decodes
+  kBestGateway,  ///< selection: the strongest-link gateway alone decides
+};
+
 struct NetworkSimConfig {
   core::FdModemConfig modem = core::FdModemConfig::make();
   std::size_t payload_bytes = 64;  // per-frame payload (8 blocks default)
 
   // Geometry and power.
   channel::Vec2 ambient_position{0.0, 0.0};
+  /// Primary gateway (gateway 0). Kept as a scalar so single-receiver
+  /// configs read exactly as before.
   channel::Vec2 receiver_position{5.0, 0.0};
+  /// Additional receive gateways (gateway 1..N). Empty = the classic
+  /// single-receiver deployment.
+  std::vector<channel::Vec2> extra_gateways;
+  GatewayCombining combining = GatewayCombining::kAnyGateway;
   std::vector<NetworkTagConfig> tags;
   double tx_power_w = 1.0;  // ambient transmitter EIRP
   channel::LogDistanceModel pathloss{.reference_distance_m = 1.0,
@@ -81,6 +110,11 @@ struct NetworkSimConfig {
   // MAC (slot-domain contention; slots are block-times).
   mac::MacKind mac_kind = mac::MacKind::kCollisionNotify;
   std::size_t notify_delay_slots = 2;
+  /// Distance term of the per-gateway notification latency: gateway g
+  /// notifies tag k `notify_delay_slots + round(dist(k, g) * this)`
+  /// slots after the overlap begins, and the tag aborts on the earliest
+  /// notification. 0 keeps the legacy distance-independent latency.
+  double notify_slots_per_m = 0.0;
   std::size_t timeout_slots = 8;
   std::size_t backoff_min_slots = 4;
   std::size_t backoff_max_exponent = 6;
@@ -96,6 +130,14 @@ struct NetworkSimConfig {
   std::uint64_t seed = 1;
 
   double noise_power_w() const;
+  /// Gateways including the primary: 1 + extra_gateways.size().
+  std::size_t num_gateways() const { return 1 + extra_gateways.size(); }
+
+  /// Rejects configurations that used to fail silently (empty tag set,
+  /// non-positive transmit power, carrier/fading strings the factories
+  /// would quietly map to a default arm). Throws std::invalid_argument
+  /// with a message naming the offending field.
+  void validate() const;
 };
 
 /// Per-tag counters; exact integer merges plus double accumulators, so
@@ -116,6 +158,10 @@ struct NetworkTagStats {
 /// Outcome of one trial (slots_per_trial block-times of network time).
 struct NetworkTrialResult {
   std::vector<NetworkTagStats> tags;
+  /// Per-gateway decode successes of resolved frames (a frame several
+  /// gateways decode counts once per gateway) — the receive-diversity
+  /// picture behind the combined delivery numbers.
+  std::vector<std::uint64_t> gateway_decodes;
   std::uint64_t slots = 0;
   std::uint64_t busy_slots = 0;    // >=1 tag reflecting
   std::uint64_t useful_slots = 0;  // airtime of delivered frames
@@ -135,6 +181,7 @@ struct NetworkTrialResult {
 /// count.
 struct NetworkSimSummary {
   std::vector<NetworkTagStats> tags;
+  std::vector<std::uint64_t> gateway_decodes;
   std::uint64_t trials = 0;
   std::uint64_t slots = 0;
   std::uint64_t busy_slots = 0;
@@ -151,6 +198,10 @@ struct NetworkSimSummary {
   std::uint64_t frames_delivered() const;
   std::uint64_t bits_delivered() const;
   std::uint64_t energy_outages() const;
+
+  /// Delivered / attempted (0 when nothing was attempted) — the
+  /// headline receive-diversity metric of e12.
+  double delivery_ratio() const;
 
   double wasted_airtime_fraction() const {
     return slots ? static_cast<double>(wasted_slots) /
@@ -172,6 +223,7 @@ struct NetworkSimSummary {
 
 class NetworkSimulator {
  public:
+  /// Throws std::invalid_argument when config.validate() does.
   explicit NetworkSimulator(NetworkSimConfig config);
 
   /// Runs one network trial. Pure with respect to the simulator: all
@@ -179,8 +231,16 @@ class NetworkSimulator {
   /// Rng::substream(config.seed, trial_index) inside the call and no
   /// member state is touched, so disjoint trials are safe to run
   /// concurrently on one simulator and results are independent of
-  /// thread assignment.
+  /// thread assignment. Synthesis scratch comes from a per-thread
+  /// SynthArena, so steady-state trials do not allocate in the
+  /// sample-domain hot path.
   NetworkTrialResult run_trial(std::uint64_t trial_index) const;
+
+  /// As above with caller-provided synthesis scratch: the arena is
+  /// reset on entry and only grows during warm-up. One arena per
+  /// concurrent caller — the arena itself is not thread-safe.
+  NetworkTrialResult run_trial(std::uint64_t trial_index,
+                               SynthArena& arena) const;
 
   /// Runs trials [0, n) serially and aggregates. Equivalent trial-set
   /// to ExperimentRunner::run_chunked at any job count.
@@ -190,6 +250,7 @@ class NetworkSimulator {
   const channel::Scene& scene() const { return scene_; }
 
   std::size_t num_tags() const { return config_.tags.size(); }
+  std::size_t num_gateways() const { return gateway_device_.size(); }
   /// One slot = one block-time = one feedback slot of the asymmetry.
   std::size_t slot_samples() const { return slot_samples_; }
   std::size_t frame_slots() const { return frame_slots_; }
@@ -199,18 +260,32 @@ class NetworkSimulator {
   /// Scene device index of tag k (for gain queries in reports/tests).
   std::size_t tag_device(std::size_t k) const { return tag_device_.at(k); }
   std::size_t ambient_device() const { return ambient_device_; }
-  std::size_t receiver_device() const { return receiver_device_; }
+  /// Scene device index of gateway g; gateway 0 is receiver_position.
+  std::size_t gateway_device(std::size_t g) const {
+    return gateway_device_.at(g);
+  }
+  std::size_t receiver_device() const { return gateway_device_[0]; }
+  /// Geometrically nearest gateway to tag k (reports; the in-trial
+  /// serving gateway additionally reflects fading/shadowing draws).
+  std::size_t nearest_gateway(std::size_t k) const;
+  /// Slots from overlap start until tag k hears the earliest gateway's
+  /// collision notification.
+  std::size_t notify_latency_slots(std::size_t k) const {
+    return notify_slots_.at(k);
+  }
 
  private:
   NetworkSimConfig config_;
   channel::Scene scene_;
   std::size_t ambient_device_ = 0;
-  std::size_t receiver_device_ = 0;
+  std::vector<std::size_t> gateway_device_;
   std::vector<std::size_t> tag_device_;
   core::FdDataTransmitter tx_;
   core::FdDataReceiver rx_;
   std::vector<channel::BackscatterModulator> modulators_;
   energy::Harvester harvester_;
+  WaveformSynthesizer synth_;
+  std::vector<std::size_t> notify_slots_;  ///< per-tag earliest notify
   std::size_t slot_samples_ = 0;
   std::size_t burst_samples_ = 0;
   std::size_t frame_slots_ = 0;

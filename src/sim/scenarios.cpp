@@ -22,6 +22,20 @@ std::vector<NetworkTagConfig> ring(channel::Vec2 center, double radius_m,
   return tags;
 }
 
+/// Places `n` tags evenly on the segment from `from` to `to` (both ends
+/// inset by half a step so no tag sits on top of a gateway).
+std::vector<NetworkTagConfig> line(channel::Vec2 from, channel::Vec2 to,
+                                   std::size_t n, double rho) {
+  std::vector<NetworkTagConfig> tags(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = (static_cast<double>(k) + 0.5) / static_cast<double>(n);
+    tags[k].position = {from.x + t * (to.x - from.x),
+                        from.y + t * (to.y - from.y)};
+    tags[k].reflection_rho = rho;
+  }
+  return tags;
+}
+
 NetworkSimConfig base_config(std::size_t num_tags, std::uint64_t seed) {
   NetworkSimConfig config;
   config.seed = seed;
@@ -33,7 +47,8 @@ NetworkSimConfig base_config(std::size_t num_tags, std::uint64_t seed) {
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> kNames = {
-      "dense-deployment", "near-far", "energy-starved", "fading-sweep"};
+      "dense-deployment", "near-far",           "energy-starved",
+      "fading-sweep",     "multi-gateway-dense", "gateway-handoff-line"};
   return kNames;
 }
 
@@ -86,6 +101,36 @@ NetworkScenario make_scenario(const std::string& name, std::size_t num_tags,
     config.tags = ring(config.receiver_position, 2.0, n, 0.4);
     config.fading = "rayleigh";
     config.pathloss.shadowing_sigma_db = 4.0;
+  } else if (name == "multi-gateway-dense") {
+    scenario.summary =
+        "receive diversity: tag ring between two gateways under weak"
+        " illumination + Rayleigh/shadowing; any-gateway combining"
+        " rescues frames one receiver loses to fades";
+    config.ambient_position = {0.0, 0.0};
+    // The ring is centred between the gateways (radius < the 2.5 m
+    // centre->gateway offset, so no tag sits on a gateway). Weak
+    // illumination puts clean-frame decodes near the fading margin:
+    // each tag is solid at one gateway and marginal at the other, and
+    // the independent per-link fades/shadowing draws are what the
+    // second receive chain rescues.
+    config.receiver_position = {3.5, 0.0};
+    config.extra_gateways = {{8.5, 0.0}};
+    config.combining = GatewayCombining::kAnyGateway;
+    config.tags = ring({6.0, 0.0}, 2.0, n, 0.4);
+    config.tx_power_w = 1e-4;
+    config.fading = "rayleigh";
+    config.pathloss.shadowing_sigma_db = 3.0;
+    config.notify_slots_per_m = 0.25;
+  } else if (name == "gateway-handoff-line") {
+    scenario.summary =
+        "corridor of tags between two gateways, best-gateway selection:"
+        " the serving gateway hands off along the line";
+    config.ambient_position = {6.0, 4.0};  // overhead illuminator
+    config.receiver_position = {2.0, 0.0};
+    config.extra_gateways = {{10.0, 0.0}};
+    config.combining = GatewayCombining::kBestGateway;
+    config.tags = line({2.0, 0.0}, {10.0, 0.0}, n, 0.4);
+    config.notify_slots_per_m = 0.25;
   } else {
     throw std::invalid_argument("unknown network scenario: " + name);
   }

@@ -16,6 +16,12 @@
 //   fading-sweep      Rayleigh block fading + lognormal shadowing on
 //                     every link: clean frames are still lost to fades,
 //                     exercising the reciprocal pair-keyed shadowing.
+//   multi-gateway-dense  a tag ring centred between two gateways under
+//                     Rayleigh + shadowing, any-gateway combining: the
+//                     receive-diversity scenario behind e12.
+//   gateway-handoff-line tags along a corridor between two gateways,
+//                     best-gateway selection: the serving gateway hands
+//                     off with position.
 #pragma once
 
 #include <string>

@@ -1,0 +1,202 @@
+#include "sim/synthesis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace fdb::sim {
+
+// ---------------------------------------------------------------------
+// SynthArena
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kMinChunkBytes = 1 << 16;  // 64 KiB floor
+
+std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+SynthArena::Chunk SynthArena::make_chunk(std::size_t size) {
+  // Over-allocate so the usable base can be rounded up to a cache line
+  // (new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__).
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size + 64);
+  chunk.base = reinterpret_cast<std::byte*>(
+      align_up(reinterpret_cast<std::uintptr_t>(chunk.data.get()), 64));
+  chunk.size = size;
+  return chunk;
+}
+
+std::byte* SynthArena::alloc_bytes(std::size_t bytes, std::size_t align) {
+  // Every carve is cache-line aligned (chunk bases round up to 64,
+  // offsets too), which both satisfies any scalar T and keeps
+  // vectorized kernel spans from splitting lines.
+  const std::size_t alignment = std::max<std::size_t>(align, 64);
+  used_total_ += bytes;
+  while (active_ < chunks_.size()) {
+    const std::size_t at = align_up(used_, alignment);
+    if (at + bytes <= chunks_[active_].size) {
+      used_ = at + bytes;
+      return chunks_[active_].base + at;
+    }
+    // The active chunk is exhausted: move on (existing spans stay put).
+    ++active_;
+    used_ = 0;
+  }
+  // Overflow: grow by at least doubling so warm-up converges in O(log n)
+  // chunks; reset() coalesces them into one.
+  const std::size_t want =
+      std::max({bytes + alignment, capacity_bytes(), kMinChunkBytes});
+  chunks_.push_back(make_chunk(want));
+  active_ = chunks_.size() - 1;
+  used_ = bytes;
+  return chunks_[active_].base;
+}
+
+void SynthArena::reset() {
+  if (chunks_.size() > 1) {
+    // A past cycle spilled over: replace the chunk list with one block
+    // big enough for everything seen so far. Nothing is live across
+    // reset(), so this is the only moment reallocation is legal.
+    const std::size_t total = align_up(capacity_bytes(), 64);
+    chunks_.clear();
+    chunks_.push_back(make_chunk(total));
+  }
+  active_ = 0;
+  used_ = 0;
+  used_total_ = 0;
+}
+
+std::size_t SynthArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+// ---------------------------------------------------------------------
+// WaveformSynthesizer
+// ---------------------------------------------------------------------
+
+WaveformSynthesizer::WaveformSynthesizer(const phy::RateConfig& rates,
+                                         double envelope_cutoff_mult)
+    : sample_rate_hz_(rates.sample_rate_hz) {
+  // The post-diode RC must pass chip transitions: cutoff a few times the
+  // chip rate, capped below Nyquist.
+  const double chip_rate =
+      rates.sample_rate_hz / static_cast<double>(rates.samples_per_chip);
+  cutoff_hz_ = std::min(chip_rate * envelope_cutoff_mult,
+                        rates.sample_rate_hz * 0.45);
+}
+
+dsp::EnvelopeDetector WaveformSynthesizer::make_envelope() const {
+  return dsp::EnvelopeDetector(cutoff_hz_, sample_rate_hz_);
+}
+
+void WaveformSynthesizer::apply_gain(std::span<const cf32> in, cf32 gain,
+                                     std::span<cf32> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = gain * in[i];
+}
+
+void WaveformSynthesizer::sum_with_scaled(std::span<const cf32> base,
+                                          std::span<const cf32> in, cf32 gain,
+                                          std::span<cf32> out) {
+  assert(base.size() == in.size() && base.size() == out.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out[i] = base[i] + gain * in[i];
+  }
+}
+
+void WaveformSynthesizer::add_scaled(std::span<const cf32> in, float gain,
+                                     std::span<cf32> acc) {
+  assert(in.size() == acc.size());
+  for (std::size_t i = 0; i < in.size(); ++i) acc[i] += gain * in[i];
+}
+
+void WaveformSynthesizer::add_keyed_reflection(
+    std::span<const cf32> carrier, std::span<const std::uint8_t> states,
+    std::size_t state_offset, cf32 c_on, cf32 c_off, std::span<cf32> acc) {
+  assert(carrier.size() == acc.size());
+  for (std::size_t i = 0; i < carrier.size(); ++i) {
+    const std::size_t off = state_offset + i;
+    const bool on = off < states.size() && states[off] != 0;
+    acc[i] += (on ? c_on : c_off) * carrier[i];
+  }
+}
+
+LinkSynthResult WaveformSynthesizer::synthesize_link(
+    const LinkSynthSpec& spec, SynthArena& arena) const {
+  assert(spec.modulator && spec.noise_a && spec.noise_b);
+  assert(spec.states_a.size() == spec.ambient.size());
+  assert(spec.states_b.size() == spec.ambient.size());
+  const std::size_t total = spec.ambient.size();
+
+  // Carrier as each device hears it: CFO rotation (receiver clock
+  // residual) is common, the tapped-delay-line multipath is per path.
+  std::span<const cf32> carrier = spec.ambient;
+  if (spec.cfo) {
+    auto rotated = arena.alloc<cf32>(total);
+    spec.cfo->process(spec.ambient, rotated);
+    carrier = rotated;
+  }
+  std::span<const cf32> carrier_a = carrier;
+  std::span<const cf32> carrier_b = carrier;
+  if (spec.multipath_a) {
+    auto faded = arena.alloc<cf32>(total);
+    spec.multipath_a->process(carrier, faded);
+    carrier_a = faded;
+  }
+  if (spec.multipath_b) {
+    auto faded = arena.alloc<cf32>(total);
+    spec.multipath_b->process(carrier, faded);
+    carrier_b = faded;
+  }
+
+  // Incident fields and the state-keyed reflections they spawn.
+  auto incident_a = arena.alloc<cf32>(total);
+  auto incident_b = arena.alloc<cf32>(total);
+  apply_gain(carrier_a, spec.h_sa, incident_a);
+  apply_gain(carrier_b, spec.h_sb, incident_b);
+
+  auto reflect_a = arena.alloc<cf32>(total);
+  auto reflect_b = arena.alloc<cf32>(total);
+  spec.modulator->reflect(incident_a, spec.states_a, reflect_a);
+  spec.modulator->reflect(incident_b, spec.states_b, reflect_b);
+
+  // Receive mixes, term order matching the historical per-sample sum:
+  //   y_A = inc_A + h_AB*refl_B + c_self*refl_A (+ interference)
+  auto y_a = arena.alloc<cf32>(total);
+  auto y_b = arena.alloc<cf32>(total);
+  sum_with_scaled(incident_a, reflect_b, spec.h_ab, y_a);
+  sum_with_scaled(incident_b, reflect_a, spec.h_ab, y_b);
+  add_scaled(reflect_a, spec.self_coupling, y_a);
+  add_scaled(reflect_b, spec.self_coupling, y_b);
+
+  if (!spec.states_c.empty()) {
+    assert(spec.states_c.size() == total);
+    // The interferer C reflects the (CFO-rotated, flat-path) carrier;
+    // its regenerated signal lands in both receivers symmetrically.
+    auto incident_c = arena.alloc<cf32>(total);
+    auto reflect_c = arena.alloc<cf32>(total);
+    apply_gain(carrier, spec.h_sc, incident_c);
+    spec.modulator->reflect(incident_c, spec.states_c, reflect_c);
+    add_scaled(reflect_c, spec.interferer_coupling, y_a);
+    add_scaled(reflect_c, spec.interferer_coupling, y_b);
+  }
+
+  spec.noise_a->process(y_a, y_a);
+  spec.noise_b->process(y_b, y_b);
+
+  auto envelope_a = arena.alloc<float>(total);
+  auto envelope_b = arena.alloc<float>(total);
+  dsp::EnvelopeDetector env_a = make_envelope();
+  dsp::EnvelopeDetector env_b = env_a;
+  env_a.process(y_a, envelope_a);
+  env_b.process(y_b, envelope_b);
+
+  return {envelope_a, envelope_b, incident_b};
+}
+
+}  // namespace fdb::sim

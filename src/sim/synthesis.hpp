@@ -1,0 +1,196 @@
+// Shared waveform-synthesis engine. Both Monte-Carlo simulators — the
+// two-device LinkSimulator and the N-tag NetworkSimulator — used to
+// hand-roll the same receive-chain physics; this layer owns it once:
+//
+//   ambient carrier -> per-tag antenna-state reflection -> per-link
+//   gain -> AWGN -> RC envelope
+//
+// as batch-first kernels over caller-provided scratch. The simulators
+// are thin orchestration shells: they decide *who* reflects *when* and
+// with which gains, the synthesizer turns that into the sample streams
+// every receiver actually sees.
+//
+// Memory discipline: all per-trial buffers come from a SynthArena the
+// caller owns. The arena is monotonic — allocations are bump-pointer
+// carves, reset() rewinds without freeing — so after a warm-up trial
+// the synthesis hot path performs zero heap allocation, which is what
+// lets one simulator instance stream millions of trials without
+// allocator traffic. Trial purity is preserved: the arena holds scratch
+// only, never results, and a fresh arena yields bit-identical output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "channel/backscatter.hpp"
+#include "channel/impairments.hpp"
+#include "channel/multipath.hpp"
+#include "dsp/envelope.hpp"
+#include "phy/rate_config.hpp"
+#include "util/types.hpp"
+
+namespace fdb::sim {
+
+/// Monotonic bump arena for synthesis scratch. alloc() carves aligned,
+/// *uninitialised* spans out of a chunk list; reset() rewinds to empty
+/// and — if the previous cycle overflowed into extra chunks — coalesces
+/// them into one big chunk while nothing is live. Capacity therefore
+/// grows only during warm-up and is stable afterwards (the no-allocation
+/// property the synthesis tests pin via capacity_bytes()).
+///
+/// Spans stay valid until the next reset(): allocation never moves or
+/// frees existing chunks mid-cycle.
+class SynthArena {
+ public:
+  SynthArena() = default;
+  SynthArena(const SynthArena&) = delete;
+  SynthArena& operator=(const SynthArena&) = delete;
+  SynthArena(SynthArena&&) = default;
+  SynthArena& operator=(SynthArena&&) = default;
+
+  /// Uninitialised span of n objects. T must be trivially destructible
+  /// (the arena never runs destructors); callers either fully overwrite
+  /// the span or placement-construct into it (std::construct_at).
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "SynthArena never runs destructors");
+    static_assert(alignof(T) <= 64,
+                  "SynthArena carves are cache-line aligned; chunk bases "
+                  "cannot honor stricter alignment");
+    return {reinterpret_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Zero-filled span — for envelope histories whose unwritten regions
+  /// must read as silence, matching a freshly value-initialised vector.
+  template <typename T>
+  std::span<T> alloc_zeroed(std::size_t n) {
+    static_assert(std::is_trivial_v<T>);
+    auto s = alloc<T>(n);
+    std::memset(s.data(), 0, s.size_bytes());
+    return s;
+  }
+
+  /// Rewinds to empty. All previously returned spans become invalid.
+  void reset();
+
+  /// Total bytes owned across chunks. Stable once warm.
+  std::size_t capacity_bytes() const;
+  /// Aligned bytes carved since the last reset().
+  std::size_t used_bytes() const { return used_total_; }
+
+ private:
+  std::byte* alloc_bytes(std::size_t bytes, std::size_t align);
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::byte* base = nullptr;  ///< data.get() rounded up to 64 bytes
+    std::size_t size = 0;       ///< usable bytes from base
+  };
+  static Chunk make_chunk(std::size_t size);
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;      ///< chunk currently being carved
+  std::size_t used_ = 0;        ///< bytes carved from the active chunk
+  std::size_t used_total_ = 0;  ///< bytes carved since reset (all chunks)
+};
+
+/// Inputs for one full-trial, two-device link synthesis (the
+/// LinkSimulator shape): device A drives `states_a` with the data frame,
+/// device B drives `states_b` with concurrent feedback, an optional
+/// third reflector C (`states_c` non-empty) regenerates co-channel
+/// interference. Gains follow the link-sim signal model documented in
+/// sim/link_sim.hpp. Pointer members are per-trial stochastic processes
+/// owned by the caller; null disables the impairment.
+struct LinkSynthSpec {
+  std::span<const cf32> ambient;           ///< trial-length carrier
+  std::span<const std::uint8_t> states_a;  ///< per-sample antenna states
+  std::span<const std::uint8_t> states_b;
+  const channel::BackscatterModulator* modulator = nullptr;
+  cf32 h_sa{};         ///< ambient -> A (includes tx amplitude)
+  cf32 h_sb{};         ///< ambient -> B
+  cf32 h_ab{};         ///< A <-> B inter-device coupling
+  float self_coupling = 0.0f;  ///< own reflection into own receiver
+  channel::CfoRotator* cfo = nullptr;             ///< null = no offset
+  channel::MultipathChannel* multipath_a = nullptr;  ///< null = flat
+  channel::MultipathChannel* multipath_b = nullptr;
+  channel::AwgnChannel* noise_a = nullptr;  ///< required
+  channel::AwgnChannel* noise_b = nullptr;  ///< required
+  std::span<const std::uint8_t> states_c{};  ///< empty = no interferer
+  float interferer_coupling = 0.0f;          ///< C -> A and C -> B field
+  cf32 h_sc{};                               ///< ambient -> C
+};
+
+/// Arena-backed outputs of synthesize_link. Spans are valid until the
+/// arena resets.
+struct LinkSynthResult {
+  std::span<float> envelope_a;  ///< what A's diode+RC front end sees
+  std::span<float> envelope_b;
+  /// Pre-reflection incident field at B, for energy accounting (the
+  /// harvester taps the antenna before the switch).
+  std::span<const cf32> incident_b;
+};
+
+/// The shared synthesis engine. Construction captures the timing grid
+/// and the RC front-end cutoff (a few times the chip rate, capped below
+/// Nyquist); the instance is immutable and safe to share across threads.
+class WaveformSynthesizer {
+ public:
+  WaveformSynthesizer(const phy::RateConfig& rates,
+                      double envelope_cutoff_mult);
+
+  double envelope_cutoff_hz() const { return cutoff_hz_; }
+  double sample_rate_hz() const { return sample_rate_hz_; }
+
+  /// Fresh RC envelope detector in its quiescent state. Receivers that
+  /// persist across slots (network gateways) keep their own copy.
+  dsp::EnvelopeDetector make_envelope() const;
+
+  // ---- batch kernels -----------------------------------------------
+  // All kernels are allocation-free elementwise passes over caller
+  // spans, written to match the scalar per-sample arithmetic the
+  // simulators used to inline (same op order => bit-identical results).
+
+  /// out[i] = gain * in[i]
+  static void apply_gain(std::span<const cf32> in, cf32 gain,
+                         std::span<cf32> out);
+
+  /// out[i] = base[i] + gain * in[i]
+  static void sum_with_scaled(std::span<const cf32> base,
+                              std::span<const cf32> in, cf32 gain,
+                              std::span<cf32> out);
+
+  /// acc[i] += gain * in[i]  (field-level real coupling)
+  static void add_scaled(std::span<const cf32> in, float gain,
+                         std::span<cf32> acc);
+
+  /// The network-shaped reflection fold: for each sample,
+  ///   acc[i] += (state ? c_on : c_off) * carrier[i]
+  /// where state = states[state_offset + i], out-of-range => off. c_on
+  /// and c_off are the composed ambient->tag->receiver couplings of the
+  /// two switch positions; a tag whose frame ended mid-slot keeps
+  /// absorbing (off) for the remainder.
+  static void add_keyed_reflection(std::span<const cf32> carrier,
+                                   std::span<const std::uint8_t> states,
+                                   std::size_t state_offset, cf32 c_on,
+                                   cf32 c_off, std::span<cf32> acc);
+
+  // ---- orchestration -----------------------------------------------
+
+  /// Runs the full two-device link chain over arena scratch and returns
+  /// the envelope streams both receivers decode from. Batch passes
+  /// mirror the historical per-sample loop op-for-op, so results are
+  /// bit-identical to the pre-refactor simulator.
+  LinkSynthResult synthesize_link(const LinkSynthSpec& spec,
+                                  SynthArena& arena) const;
+
+ private:
+  double sample_rate_hz_;
+  double cutoff_hz_;
+};
+
+}  // namespace fdb::sim

@@ -73,5 +73,39 @@ TEST(TraceBlockChannel, RepeatsLastWhenDrained) {
   EXPECT_FALSE(channel.feedback_flipped());
 }
 
+// Regression for the deque -> vector+cursor change: a dry queue must
+// keep repeating the last consumed verdict indefinitely, and verdicts
+// pushed after the dry spell are consumed next, in push order.
+TEST(TraceBlockChannel, DryQueueRepeatsThenConsumesRefill) {
+  TraceBlockChannel channel;
+  channel.push_block_verdict(true);
+  channel.push_block_verdict(false);
+  EXPECT_TRUE(channel.block_corrupted(8));
+  EXPECT_FALSE(channel.block_corrupted(8));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(channel.block_corrupted(8)) << "dry repeat " << i;
+  }
+  channel.push_block_verdict(true);   // refill after running dry
+  channel.push_block_verdict(false);
+  EXPECT_TRUE(channel.block_corrupted(8));
+  EXPECT_FALSE(channel.block_corrupted(8));
+  EXPECT_FALSE(channel.block_corrupted(8));  // dry again: repeats last
+
+  channel.push_feedback_flip(true);
+  EXPECT_TRUE(channel.feedback_flipped());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(channel.feedback_flipped()) << "dry repeat " << i;
+  }
+  channel.push_feedback_flip(false);
+  EXPECT_FALSE(channel.feedback_flipped());
+}
+
+TEST(TraceBlockChannel, FreshChannelDefaultsToClean) {
+  TraceBlockChannel channel;
+  // Never-filled queues answer "no corruption / no flip".
+  EXPECT_FALSE(channel.block_corrupted(1));
+  EXPECT_FALSE(channel.feedback_flipped());
+}
+
 }  // namespace
 }  // namespace fdb::mac

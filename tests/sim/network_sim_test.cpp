@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/runner.hpp"
 #include "sim/scenarios.hpp"
 
@@ -38,6 +40,10 @@ NetworkSimSummary run_with_runner(const NetworkSimulator& sim,
 void expect_summaries_identical(const NetworkSimSummary& a,
                                 const NetworkSimSummary& b) {
   ASSERT_EQ(a.tags.size(), b.tags.size());
+  ASSERT_EQ(a.gateway_decodes.size(), b.gateway_decodes.size());
+  for (std::size_t g = 0; g < a.gateway_decodes.size(); ++g) {
+    EXPECT_EQ(a.gateway_decodes[g], b.gateway_decodes[g]);
+  }
   EXPECT_EQ(a.trials, b.trials);
   EXPECT_EQ(a.slots, b.slots);
   EXPECT_EQ(a.busy_slots, b.busy_slots);
@@ -185,6 +191,130 @@ TEST(NetworkSim, SummaryMergeMatchesSequentialAdd) {
             merged.detect_latency_slots.count());
   EXPECT_NEAR(whole.mean_detect_latency_slots(),
               merged.mean_detect_latency_slots(), 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Config validation (used to fail silently)
+// ---------------------------------------------------------------------
+
+TEST(NetworkSimConfigValidation, RejectsEmptyTagSet) {
+  auto config = small_config();
+  config.tags.clear();
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+}
+
+TEST(NetworkSimConfigValidation, RejectsNonPositiveTxPower) {
+  auto config = small_config();
+  config.tx_power_w = 0.0;
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+  config.tx_power_w = -1.0;
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+}
+
+TEST(NetworkSimConfigValidation, RejectsUnknownCarrierAndFading) {
+  auto config = small_config();
+  config.carrier = "wifi";  // the factory would silently pick ofdm_tv
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+  config.carrier = "cw";
+  config.fading = "nakagami";  // the factory would silently pick static
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+  config.fading = "rician";  // all named arms stay accepted
+  EXPECT_NO_THROW((void)NetworkSimulator(config));
+}
+
+// ---------------------------------------------------------------------
+// Multi-gateway receive diversity
+// ---------------------------------------------------------------------
+
+TEST(NetworkSimGateways, SingleGatewayPolicyChoiceIsIrrelevant) {
+  // With one gateway, "best" and "any" must be the same machine.
+  auto config = small_config();
+  config.combining = GatewayCombining::kAnyGateway;
+  const auto any = NetworkSimulator(config).run(3);
+  config.combining = GatewayCombining::kBestGateway;
+  const auto best = NetworkSimulator(config).run(3);
+  expect_summaries_identical(any, best);
+  ASSERT_EQ(any.gateway_decodes.size(), 1u);
+}
+
+TEST(NetworkSimGateways, TwoGatewaysBitIdenticalAcrossJobCounts) {
+  auto scenario = make_scenario("multi-gateway-dense", 4, 7);
+  scenario.config.slots_per_trial = 96;
+  const NetworkSimulator sim(scenario.config);
+  const auto j1 = run_with_runner(sim, 5, 1);
+  const auto j8 = run_with_runner(sim, 5, 8);
+  expect_summaries_identical(j1, j8);
+  ASSERT_EQ(j1.gateway_decodes.size(), 2u);
+}
+
+TEST(NetworkSimGateways, AnyCombiningDeliversAtLeastSingleReceiver) {
+  // The e12 headline, as a regression gate: in the diversity scenario
+  // a second gateway with any-combining must not deliver less than the
+  // single-receiver baseline.
+  auto scenario = make_scenario("multi-gateway-dense", 8, 17);
+  auto single = scenario.config;
+  single.extra_gateways.clear();
+  const auto one = NetworkSimulator(single).run(2);
+  const auto two = NetworkSimulator(scenario.config).run(2);
+  EXPECT_GE(two.delivery_ratio(), one.delivery_ratio());
+  // And the diversity is real: both gateways decode frames.
+  ASSERT_EQ(two.gateway_decodes.size(), 2u);
+  EXPECT_GT(two.gateway_decodes[0], 0u);
+  EXPECT_GT(two.gateway_decodes[1], 0u);
+}
+
+TEST(NetworkSimGateways, DeliveredNeverExceedsPerGatewayDecodeTotal) {
+  // Any-combining delivers only frames at least one gateway decoded.
+  auto scenario = make_scenario("multi-gateway-dense", 4, 5);
+  scenario.config.slots_per_trial = 96;
+  const auto s = NetworkSimulator(scenario.config).run(3);
+  std::uint64_t decode_total = 0;
+  for (const auto d : s.gateway_decodes) decode_total += d;
+  EXPECT_LE(s.frames_delivered(), decode_total);
+}
+
+TEST(NetworkSimGateways, NotifyLatencyReflectsClosestGateway) {
+  // In the corridor, edge tags sit next to a gateway and hear the
+  // notification at the base delay; mid-corridor tags pay the distance
+  // term of whichever gateway is nearer.
+  auto scenario = make_scenario("gateway-handoff-line", 8, 1);
+  const NetworkSimulator sim(scenario.config);
+  const std::size_t base = scenario.config.notify_delay_slots;
+  EXPECT_EQ(sim.notify_latency_slots(0), base);
+  EXPECT_EQ(sim.notify_latency_slots(7), base);
+  EXPECT_GT(sim.notify_latency_slots(3), base);
+  EXPECT_GT(sim.notify_latency_slots(4), base);
+  // Symmetric corridor: latency profile mirrors around the middle.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(sim.notify_latency_slots(k), sim.notify_latency_slots(7 - k));
+  }
+
+  // The legacy distance-independent latency survives slope 0.
+  auto legacy = scenario.config;
+  legacy.notify_slots_per_m = 0.0;
+  const NetworkSimulator flat(legacy);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(flat.notify_latency_slots(k), base);
+  }
+}
+
+TEST(NetworkSimGateways, SceneContainsAllGatewayDevices) {
+  auto scenario = make_scenario("multi-gateway-dense", 6, 2);
+  const NetworkSimulator sim(scenario.config);
+  EXPECT_EQ(sim.num_gateways(), 2u);
+  EXPECT_EQ(sim.scene().num_devices(), 2u + 6u + 1u);
+  EXPECT_EQ(sim.gateway_device(0), sim.receiver_device());
+  EXPECT_EQ(sim.scene().device(sim.gateway_device(1)).kind,
+            channel::DeviceKind::kReceiver);
+  // Extra gateways append after the tags so single-gateway configs keep
+  // every historical device index (and so every shadowing draw).
+  EXPECT_GT(sim.gateway_device(1), sim.tag_device(5));
+  // The scene can enumerate the receive diversity directly.
+  const auto receivers =
+      sim.scene().find_all(channel::DeviceKind::kReceiver);
+  ASSERT_EQ(receivers.size(), 2u);
+  EXPECT_EQ(receivers[0], sim.gateway_device(0));
+  EXPECT_EQ(receivers[1], sim.gateway_device(1));
 }
 
 TEST(NetworkSim, SlotGeometryConsistent) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -10,10 +11,14 @@
 namespace fdb::sim {
 namespace {
 
-TEST(Scenarios, RegistryListsFourScenarios) {
+TEST(Scenarios, RegistryListsAllScenarios) {
   const auto& names = scenario_names();
-  ASSERT_GE(names.size(), 4u);
+  ASSERT_GE(names.size(), 6u);
   EXPECT_EQ(names[0], "dense-deployment");
+  EXPECT_NE(std::find(names.begin(), names.end(), "multi-gateway-dense"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "gateway-handoff-line"),
+            names.end());
 }
 
 TEST(Scenarios, EveryNamedScenarioBuildsASimulator) {
@@ -70,6 +75,35 @@ TEST(Scenarios, FadingSweepEnablesFadingAndShadowing) {
   const auto scenario = make_scenario("fading-sweep");
   EXPECT_EQ(scenario.config.fading, "rayleigh");
   EXPECT_GT(scenario.config.pathloss.shadowing_sigma_db, 0.0);
+}
+
+TEST(Scenarios, MultiGatewayDenseHasTwoGatewaysAnyCombining) {
+  const auto scenario = make_scenario("multi-gateway-dense");
+  EXPECT_EQ(scenario.config.num_gateways(), 2u);
+  EXPECT_EQ(scenario.config.combining, GatewayCombining::kAnyGateway);
+  EXPECT_GT(scenario.config.notify_slots_per_m, 0.0);
+  const NetworkSimulator sim(scenario.config);
+  EXPECT_EQ(sim.num_gateways(), 2u);
+  // Gateways sit on opposite sides of the ring: every tag is strictly
+  // closer to one of them than the ring centre is.
+  EXPECT_EQ(sim.scene().num_devices(), 2u + 8u + 1u);
+}
+
+TEST(Scenarios, GatewayHandoffLineServesByPosition) {
+  const auto scenario = make_scenario("gateway-handoff-line");
+  EXPECT_EQ(scenario.config.num_gateways(), 2u);
+  EXPECT_EQ(scenario.config.combining, GatewayCombining::kBestGateway);
+  const NetworkSimulator sim(scenario.config);
+  // Tags march from gateway 0 toward gateway 1, so the geometrically
+  // nearest gateway must hand off exactly once along the line.
+  EXPECT_EQ(sim.nearest_gateway(0), 0u);
+  EXPECT_EQ(sim.nearest_gateway(sim.num_tags() - 1), 1u);
+  bool handed_off = false;
+  for (std::size_t k = 1; k < sim.num_tags(); ++k) {
+    EXPECT_GE(sim.nearest_gateway(k), sim.nearest_gateway(k - 1));
+    handed_off |= sim.nearest_gateway(k) != sim.nearest_gateway(k - 1);
+  }
+  EXPECT_TRUE(handed_off);
 }
 
 }  // namespace
