@@ -1,6 +1,8 @@
 # Runs one bench binary twice (--jobs 1 vs --jobs 8) and fails unless the
 # JSON "sections" (all result rows) are bit-identical — the determinism
 # contract of the experiment runner and the trial-pure simulators.
+# Sections whose name carries a "[wall-clock]" marker hold timing
+# measurements and are stripped before the compare (e13's slots/s).
 # Invoked by ctest with -DBENCH_BIN=<path> -DPYTHON3=<path> -DTRIALS=<n>.
 if(NOT TRIALS)
   set(TRIALS 4)
@@ -27,9 +29,11 @@ endforeach()
 execute_process(
   COMMAND "${PYTHON3}" -c
 "import json, sys
+strip = lambda d: [s for s in d['sections'] if '[wall-clock]' not in s['name']]
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a['sections'] == b['sections'], 'results differ across job counts'
+assert a['sections'], 'no sections emitted'
+assert strip(a) == strip(b), 'results differ across job counts'
 "
   "${tmp}/fdb_${bench_name}_j1.json"
   "${tmp}/fdb_${bench_name}_j8.json"

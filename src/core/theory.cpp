@@ -35,6 +35,51 @@ double block_error_rate(double ber, std::size_t block_bits) {
   return 1.0 - std::pow(1.0 - ber, static_cast<double>(block_bits));
 }
 
+double qfunc_inv(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Bisection on the monotone-decreasing qfunc. [-40, 40] covers every
+  // double-representable tail probability; ~120 halvings reach the
+  // precision floor of erfc itself.
+  double lo = -40.0;
+  double hi = 40.0;
+  for (int i = 0; i < 120; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (qfunc(mid) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double envelope_sinr(double delta_env, double interferer_env_sum,
+                     double noise_sigma, std::size_t n_avg) {
+  assert(interferer_env_sum >= 0.0 && noise_sigma >= 0.0 && n_avg > 0);
+  if (!(delta_env > 0.0)) return 0.0;
+  const double half_i = interferer_env_sum / 2.0;
+  const double denom = half_i * half_i +
+                       noise_sigma * noise_sigma /
+                           static_cast<double>(n_avg);
+  if (!(denom > 0.0)) return std::numeric_limits<double>::infinity();
+  const double half_d = delta_env / 2.0;
+  return half_d * half_d / denom;
+}
+
+double ook_required_sinr(double target_ber) {
+  assert(target_ber > 0.0 && target_ber < 0.5);
+  const double x = qfunc_inv(target_ber);
+  return x * x;
+}
+
+double sinr_db(double signal_w, double interference_w, double noise_w) {
+  assert(interference_w >= 0.0 && noise_w >= 0.0);
+  if (!(signal_w > 0.0)) return -std::numeric_limits<double>::infinity();
+  const double denom = interference_w + noise_w;
+  if (!(denom > 0.0)) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal_w / denom);
+}
+
 namespace {
 
 /// Frame error rate over payload + overhead bits.

@@ -31,6 +31,37 @@ double feedback_ber(double delta_amp, double noise_sigma,
 double block_error_rate(double ber, std::size_t block_bits);
 
 // ---------------------------------------------------------------------
+// Interference-aware envelope SINR — the closed forms behind the
+// hybrid-fidelity fleet engine's analytic fast path (sim/fleet.hpp).
+// ---------------------------------------------------------------------
+
+/// Inverse Gaussian tail: the x with qfunc(x) == p, for p in (0, 1).
+/// qfunc_inv(0.5) == 0; p < 0.5 gives positive x.
+double qfunc_inv(double p);
+
+/// Post-integration SINR (linear) of one OOK backscatter link at an
+/// envelope detector: the wanted tag separates its two levels by
+/// `delta_env` (field units), up to `interferer_env_sum` of concurrent
+/// tags' swing may land coherently on the decision statistic (worst
+/// case — interference does not integrate down), and per-sample envelope
+/// noise of std dev `noise_sigma` averages over `n_avg` samples:
+///
+///   SINR = (delta/2)^2 / ((i_sum/2)^2 + sigma^2 / n_avg)
+///
+/// With i_sum == 0 this is exactly the statistic inside
+/// ook_envelope_ber: ber == qfunc(sqrt(envelope_sinr(delta, 0, ...))).
+double envelope_sinr(double delta_env, double interferer_env_sum,
+                     double noise_sigma, std::size_t n_avg);
+
+/// SINR (linear) an OOK envelope link needs to reach `target_ber`:
+/// ber = Q(sqrt(SINR)) inverted, i.e. qfunc_inv(target_ber)^2.
+/// Precondition: target_ber in (0, 0.5).
+double ook_required_sinr(double target_ber);
+
+/// Power-domain SINR in decibels; -inf when signal_w <= 0.
+double sinr_db(double signal_w, double interference_w, double noise_w);
+
+// ---------------------------------------------------------------------
 // ARQ throughput models (normalised goodput in [0,1]: useful payload
 // bits delivered per data-stream bit-time spent).
 // ---------------------------------------------------------------------

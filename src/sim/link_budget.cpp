@@ -1,6 +1,8 @@
 #include "sim/link_budget.hpp"
 
 #include <cmath>
+#include <complex>
+#include <limits>
 
 #include "channel/backscatter.hpp"
 #include "energy/harvester.hpp"
@@ -56,6 +58,26 @@ LinkBudget compute_link_budget(const LinkSimConfig& config) {
   budget.harvested_per_second_j =
       harvester.harvested_power(budget.incident_at_b_w * fraction);
   return budget;
+}
+
+double envelope_swing(cf32 base, cf32 c_on, cf32 c_off) {
+  const double on = std::abs(std::complex<double>(base) +
+                             std::complex<double>(c_on));
+  const double off = std::abs(std::complex<double>(base) +
+                              std::complex<double>(c_off));
+  return std::abs(on - off);
+}
+
+double analytic_margin_db(double delta_env, double interferer_env_sum,
+                          double noise_sigma, std::size_t n_avg,
+                          double target_ber) {
+  if (!(delta_env > 0.0)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double sinr = core::envelope_sinr(delta_env, interferer_env_sum,
+                                          noise_sigma, n_avg);
+  const double required = core::ook_required_sinr(target_ber);
+  return 10.0 * std::log10(sinr / required);
 }
 
 }  // namespace fdb::sim

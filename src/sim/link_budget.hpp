@@ -25,4 +25,29 @@ struct LinkBudget {
 /// closed forms are exact up to the envelope detector's smoothing).
 LinkBudget compute_link_budget(const LinkSimConfig& config);
 
+// ---------------------------------------------------------------------
+// Per-link analytic helpers for the hybrid-fidelity fleet engine
+// (sim/fleet.hpp). These consume the *complex* per-trial couplings the
+// waveform synthesizer folds in — fading and shadowing included — so
+// the analytic verdict and the synthesized one see the same channel.
+// ---------------------------------------------------------------------
+
+/// Exact noiseless envelope swing one OOK tag produces at a receiver
+/// whose static field is `base` (direct ambient leakage): the envelope
+/// toggles between |base + c_on| and |base + c_off| as the tag's switch
+/// flips between the composed ambient->tag->receiver couplings of its
+/// two reflection states. Exact for a unit CW carrier in a
+/// block-static channel; phase projection (a reflection in quadrature
+/// to the carrier barely moves the envelope) emerges from the complex
+/// arithmetic instead of being modeled.
+double envelope_swing(cf32 base, cf32 c_on, cf32 c_off);
+
+/// Margin (dB) of an OOK link over the SINR that `target_ber` demands,
+/// under `interferer_env_sum` of concurrent swing (worst-case coherent;
+/// see core::envelope_sinr). Positive margins clear the threshold;
+/// -inf when the link has no swing at all.
+double analytic_margin_db(double delta_env, double interferer_env_sum,
+                          double noise_sigma, std::size_t n_avg,
+                          double target_ber);
+
 }  // namespace fdb::sim

@@ -47,6 +47,7 @@
 // bit-identical results at any --jobs (same contract as LinkSimulator).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -60,6 +61,7 @@
 #include "energy/ledger.hpp"
 #include "energy/storage.hpp"
 #include "mac/collision.hpp"
+#include "sim/fleet.hpp"
 #include "sim/synthesis.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -127,6 +129,11 @@ struct NetworkSimConfig {
   energy::StorageParams storage{};
   energy::PowerProfile power{};
 
+  // Hybrid-fidelity fleet engine: fidelity mode, verdict margin band,
+  // spatial culling (sim/fleet.hpp). The default — kWaveform, no
+  // culling — reproduces the historical simulator bit-for-bit.
+  FleetConfig fleet{};
+
   std::uint64_t seed = 1;
 
   double noise_power_w() const;
@@ -155,6 +162,22 @@ struct NetworkTagStats {
   void merge(const NetworkTagStats& other);
 };
 
+/// One resolved frame attempt, logged when FleetConfig::record_frames
+/// is set. In kWaveform mode `delivered` is the fully synthesized
+/// verdict while `analytic`/`margin_db` come from the classifier run
+/// alongside on identical trial state — the raw material of the
+/// cross-fidelity property tests.
+struct FrameRecord {
+  std::uint32_t tag = 0;
+  std::uint64_t start_slot = 0;
+  bool overlapped = false;            ///< shared a slot with another tag
+  LinkVerdict analytic = LinkVerdict::kContested;  ///< combined verdict
+  /// Best per-gateway pessimistic margin over the relevant gateway set.
+  double margin_db = 0.0;
+  bool delivered = false;
+  bool escalated = false;  ///< resolved by escalated synthesis (kHybrid)
+};
+
 /// Outcome of one trial (slots_per_trial block-times of network time).
 struct NetworkTrialResult {
   std::vector<NetworkTagStats> tags;
@@ -174,6 +197,21 @@ struct NetworkTrialResult {
   /// Slots from the first overlapped slot of a losing frame to the slot
   /// its transmitter learned about the loss.
   RunningStats detect_latency_slots;
+
+  // Fleet-engine accounting (zero in pure kWaveform runs without frame
+  // recording). frames_resolved_analytic counts verdicts the margin
+  // band settled; frames_escalated counts contested frames kHybrid
+  // re-synthesized; frames_culled are resolved frames of tags outside
+  // every gateway's interference range.
+  std::uint64_t frames_resolved_analytic = 0;
+  std::uint64_t frames_escalated = 0;
+  std::uint64_t frames_culled = 0;
+  /// Gateway-slots actually run through the sample-level synthesizer:
+  /// n_gateways per slot in kWaveform, only escalated windows in
+  /// kHybrid — the cost model behind the slots/s speedup.
+  std::uint64_t gateway_slots_synthesized = 0;
+  /// Per-frame log; filled only when FleetConfig::record_frames.
+  std::vector<FrameRecord> frames;
 };
 
 /// Aggregate over many trials; mergeable in chunk order (see
@@ -190,6 +228,15 @@ struct NetworkSimSummary {
   std::uint64_t collisions = 0;
   std::uint64_t sync_failures = 0;
   RunningStats detect_latency_slots;
+
+  std::uint64_t frames_resolved_analytic = 0;
+  std::uint64_t frames_escalated = 0;
+  std::uint64_t frames_culled = 0;
+  std::uint64_t gateway_slots_synthesized = 0;
+  /// Per-trial escalated fraction (frames_escalated / resolved frames),
+  /// one sample per trial that resolved at least one frame — the
+  /// escalation-rate distribution of a hybrid run.
+  RunningStats escalation_rate_trials;
 
   void add(const NetworkTrialResult& trial);
   void merge(const NetworkSimSummary& other);
@@ -219,6 +266,24 @@ struct NetworkSimSummary {
   /// Fraction of transmission intents blocked or killed by energy
   /// (outages / (outages + attempts)).
   double energy_outage_fraction() const;
+
+  /// Escalated fraction of analytically screened frames across the
+  /// whole run (0 when the fleet engine never ran).
+  double escalation_rate() const {
+    const std::uint64_t resolved = frames_resolved_analytic + frames_escalated;
+    return resolved ? static_cast<double>(frames_escalated) /
+                          static_cast<double>(resolved)
+                    : 0.0;
+  }
+  /// Synthesized gateway-slots / total gateway-slots — the fraction of
+  /// the waveform cost a run actually paid (1.0 in kWaveform).
+  double synthesized_slot_fraction() const {
+    const std::uint64_t denom =
+        slots * std::max<std::size_t>(std::size_t{1}, gateway_decodes.size());
+    return denom ? static_cast<double>(gateway_slots_synthesized) /
+                       static_cast<double>(denom)
+                 : 0.0;
+  }
 };
 
 class NetworkSimulator {
@@ -273,6 +338,15 @@ class NetworkSimulator {
   std::size_t notify_latency_slots(std::size_t k) const {
     return notify_slots_.at(k);
   }
+  /// Whether tag k is inside FleetConfig::cull_radius_m of gateway g
+  /// (always true with the default infinite radius).
+  bool tag_in_range(std::size_t k, std::size_t g) const {
+    return in_range_.at(k * gateway_device_.size() + g) != 0;
+  }
+  /// Whether tag k is outside interference range of *every* gateway.
+  bool tag_culled(std::size_t k) const { return culled_.at(k) != 0; }
+  /// Number of culled tags in the deployment.
+  std::size_t num_culled() const { return num_culled_; }
 
  private:
   NetworkSimConfig config_;
@@ -290,6 +364,13 @@ class NetworkSimulator {
   std::size_t burst_samples_ = 0;
   std::size_t frame_slots_ = 0;
   double frame_cost_j_ = 0.0;
+
+  // Fleet engine (sim/fleet.hpp): the margin classifier and the
+  // culling-grid results, both fixed at construction.
+  FleetResolver resolver_;
+  std::vector<std::uint8_t> in_range_;  ///< [tag * n_gw + gw] within radius
+  std::vector<std::uint8_t> culled_;    ///< [tag] out of range everywhere
+  std::size_t num_culled_ = 0;
 };
 
 }  // namespace fdb::sim

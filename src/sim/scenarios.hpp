@@ -22,6 +22,13 @@
 //   gateway-handoff-line tags along a corridor between two gateways,
 //                     best-gateway selection: the serving gateway hands
 //                     off with position.
+//   warehouse-10k     tag grid across a 120x50 m hall under a distant
+//                     broadcast tower, 4 gateways clustered in the left
+//                     half, finite cull radius: the fleet-scale
+//                     scenario behind e13 (pass num_tags up to 10000).
+//   city-block        tags along a 100x100 m street grid with corner/
+//                     centre gateways, Rayleigh + shadowing: urban dead
+//                     zones exercise the culling index.
 #pragma once
 
 #include <string>

@@ -21,8 +21,12 @@ std::size_t align_up(std::size_t n, std::size_t align) {
 SynthArena::Chunk SynthArena::make_chunk(std::size_t size) {
   // Over-allocate so the usable base can be rounded up to a cache line
   // (new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__).
+  // Default-initialised on purpose: make_unique<T[]> would value-init,
+  // i.e. memset tens of MB on every chunk growth/coalesce — alloc()'s
+  // contract is uninitialised memory and alloc_zeroed() does its own
+  // memset.
   Chunk chunk;
-  chunk.data = std::make_unique<std::byte[]>(size + 64);
+  chunk.data = std::unique_ptr<std::byte[]>(new std::byte[size + 64]);
   chunk.base = reinterpret_cast<std::byte*>(
       align_up(reinterpret_cast<std::uintptr_t>(chunk.data.get()), 64));
   chunk.size = size;

@@ -111,5 +111,79 @@ TEST(ArqModels, FdEnergyAdvantageGrowsWithBer) {
   EXPECT_GT(ratio_high, ratio_low);
 }
 
+// ---------------------------------------------------------------------
+// Interference-aware envelope SINR helpers (the fleet engine's analytic
+// fast path). Pinned to hand-evaluated closed forms so a refactor that
+// shifts the verdict boundary fails loudly here, not in a Monte-Carlo
+// tolerance band.
+// ---------------------------------------------------------------------
+
+TEST(QfuncInv, KnownValuesAndRoundtrip) {
+  EXPECT_NEAR(qfunc_inv(0.5), 0.0, 1e-12);
+  // Phi^-1(0.999): the 1e-3 anchor of the default analytic target BER.
+  EXPECT_NEAR(qfunc_inv(1e-3), 3.0902323, 1e-5);
+  EXPECT_NEAR(qfunc_inv(qfunc(1.0)), 1.0, 1e-9);
+  for (const double x : {0.0, 0.25, 1.0, 2.5, 4.0}) {
+    EXPECT_NEAR(qfunc_inv(qfunc(x)), x, 1e-8) << "x=" << x;
+  }
+}
+
+TEST(EnvelopeSinr, NoiseOnlyClosedForm) {
+  // (delta/2)^2 / (sigma^2/n): (0.1)^2 / (0.0025/4) = 16 exactly.
+  EXPECT_NEAR(envelope_sinr(0.2, 0.0, 0.05, 4), 16.0, 1e-12);
+  // Quadrupling the averaging quadruples the noise-only SINR.
+  EXPECT_NEAR(envelope_sinr(0.2, 0.0, 0.05, 16), 64.0, 1e-12);
+}
+
+TEST(EnvelopeSinr, EqualPowerInterfererClosedForm) {
+  // An equal-swing interferer adds (0.1)^2 to the denominator:
+  // 0.01 / (0.01 + 0.000625) = 16/17 of unity.
+  EXPECT_NEAR(envelope_sinr(0.2, 0.2, 0.05, 4), 0.01 / 0.010625, 1e-12);
+  // Interference is worst-case coherent: it does NOT integrate down
+  // with n_avg, so the interference-limited SINR barely moves.
+  EXPECT_NEAR(envelope_sinr(0.2, 0.2, 0.05, 4096),
+              envelope_sinr(0.2, 0.2, 0.05, 4096 * 4), 0.05);
+}
+
+TEST(EnvelopeSinr, DeepFadeCollapsesToZero) {
+  // A faded tag with a thousandth of the nominal swing: SINR scales as
+  // delta^2, six orders down, far below any plausible decode threshold.
+  const double nominal = envelope_sinr(0.2, 0.0, 0.05, 4);
+  const double faded = envelope_sinr(0.2e-3, 0.0, 0.05, 4);
+  EXPECT_NEAR(faded, nominal * 1e-6, 1e-12);
+  EXPECT_LT(faded, ook_required_sinr(1e-3) * 1e-4);
+}
+
+TEST(EnvelopeSinr, ZeroInterferenceMatchesOokBerIdentity) {
+  // With no interference the statistic is exactly ook_envelope_ber's:
+  // ber == Q(sqrt(SINR)) for any (delta, sigma, n).
+  for (const double delta : {0.05, 0.2, 0.7}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{20}}) {
+      const double ber = ook_envelope_ber(delta, 0.05, n);
+      const double sinr = envelope_sinr(delta, 0.0, 0.05, n);
+      EXPECT_NEAR(ber, qfunc(std::sqrt(sinr)), 1e-12)
+          << "delta=" << delta << " n=" << n;
+    }
+  }
+}
+
+TEST(OokRequiredSinr, AnchorsTargetBer) {
+  // qfunc_inv(1e-3)^2: the SINR at which Q(sqrt(SINR)) hits the target.
+  const double required = ook_required_sinr(1e-3);
+  EXPECT_NEAR(required, 9.54954, 1e-4);
+  EXPECT_NEAR(qfunc(std::sqrt(required)), 1e-3, 1e-9);
+  // Stricter targets demand more SINR.
+  EXPECT_GT(ook_required_sinr(1e-6), required);
+  EXPECT_LT(ook_required_sinr(1e-1), required);
+}
+
+TEST(SinrDb, ClosedForms) {
+  EXPECT_NEAR(sinr_db(1.0, 0.0, 0.1), 10.0, 1e-9);
+  EXPECT_NEAR(sinr_db(2.0, 1.0, 1.0), 0.0, 1e-9);
+  EXPECT_NEAR(sinr_db(100.0, 0.5, 0.5), 20.0, 1e-9);
+  EXPECT_TRUE(std::isinf(sinr_db(0.0, 1.0, 1.0)));
+  EXPECT_LT(sinr_db(0.0, 1.0, 1.0), 0.0);
+}
+
 }  // namespace
 }  // namespace fdb::core
