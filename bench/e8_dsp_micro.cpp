@@ -13,7 +13,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <regex>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "phy/stream_rx.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "sim/synthesis.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -154,9 +158,16 @@ int main(int argc, char** argv) {
   const std::size_t reps = cli.trials;
 
   using StageFn = std::function<StageResult(std::size_t)>;
-  std::vector<StageFn> stages;
+  struct NamedStage {
+    std::string name;
+    StageFn fn;
+  };
+  std::vector<NamedStage> all_stages;
+  const auto add = [&all_stages](std::string name, StageFn fn) {
+    all_stages.push_back({std::move(name), std::move(fn)});
+  };
 
-  stages.push_back([](std::size_t n) {
+  add("envelope_detector", [](std::size_t n) {
     const auto iq = random_iq(4096, 1);
     fdb::dsp::EnvelopeDetector detector(100e3, 2e6);
     std::vector<float> out(iq.size());
@@ -166,18 +177,19 @@ int main(int argc, char** argv) {
     });
   });
   for (const std::size_t window : {16ul, 64ul, 256ul}) {
-    stages.push_back([window](std::size_t n) {
-      const auto env = random_envelope(4096, 2);
-      fdb::dsp::MovingAverage<float> avg(window);
-      return time_stage("moving_average_w" + std::to_string(window),
-                        env.size(), 64, n, [&] {
-                          float acc = 0.0f;
-                          for (const float x : env) acc += avg.process(x);
-                          g_sink = g_sink + acc;
-                        });
-    });
+    add("moving_average_w" + std::to_string(window),
+        [window](std::size_t n) {
+          const auto env = random_envelope(4096, 2);
+          fdb::dsp::MovingAverage<float> avg(window);
+          return time_stage("moving_average_w" + std::to_string(window),
+                            env.size(), 64, n, [&] {
+                              float acc = 0.0f;
+                              for (const float x : env) acc += avg.process(x);
+                              g_sink = g_sink + acc;
+                            });
+        });
   }
-  stages.push_back([](std::size_t n) {
+  add("fir_taps15", [](std::size_t n) {
     const auto env = random_envelope(4096, 3);
     fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, 15));
     std::vector<float> out(env.size());
@@ -189,7 +201,7 @@ int main(int argc, char** argv) {
   // The 63-tap FIR runs twice: once through the block kernel and once
   // through the per-sample scalar wrapper — the pair quantifies what
   // batch processing buys on the same filter.
-  stages.push_back([](std::size_t n) {
+  add("fir_63tap", [](std::size_t n) {
     const auto env = random_envelope(4096, 3);
     fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, 63));
     std::vector<float> out(env.size());
@@ -198,7 +210,7 @@ int main(int argc, char** argv) {
       g_sink = g_sink + out[0];
     });
   });
-  stages.push_back([](std::size_t n) {
+  add("fir_63tap_scalar", [](std::size_t n) {
     const auto env = random_envelope(4096, 3);
     fdb::dsp::FirFilterF fir(fdb::dsp::design_lowpass(0.2, 63));
     return time_stage("fir_63tap_scalar", env.size(), 16, n, [&] {
@@ -207,20 +219,33 @@ int main(int argc, char** argv) {
       g_sink = g_sink + acc;
     });
   });
-  // Sliding correlator, three ways: the batch kernel (primary API), the
-  // per-sample scalar wrapper, and the seed's recompute-per-sample
-  // reference loop — the headline batch-vs-scalar-baseline ratio.
-  stages.push_back([](std::size_t n) {
+  // Sliding correlator, four ways: the dispatched batch kernel (SIMD
+  // blocked dots under FDB_NATIVE), the scalar batch reference it must
+  // match bit-for-bit, the per-sample wrapper, and the seed's
+  // recompute-per-sample loop. `sliding_correlator` keeps naming the
+  // scalar batch path so the committed perf trajectory stays
+  // apples-to-apples; `sliding_correlator_simd` is the dispatched API.
+  add("sliding_correlator_simd", [](std::size_t n) {
+    const auto env = random_envelope(4096, 4);
+    fdb::dsp::SlidingCorrelator corr(
+        fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
+    std::vector<float> out(env.size());
+    return time_stage("sliding_correlator_simd", env.size(), 16, n, [&] {
+      corr.process(env, out);
+      g_sink = g_sink + out[0];
+    });
+  });
+  add("sliding_correlator", [](std::size_t n) {
     const auto env = random_envelope(4096, 4);
     fdb::dsp::SlidingCorrelator corr(
         fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
     std::vector<float> out(env.size());
     return time_stage("sliding_correlator", env.size(), 16, n, [&] {
-      corr.process(env, out);
+      corr.process_scalar(env, out);
       g_sink = g_sink + out[0];
     });
   });
-  stages.push_back([](std::size_t n) {
+  add("sliding_correlator_scalar_api", [](std::size_t n) {
     const auto env = random_envelope(4096, 4);
     fdb::dsp::SlidingCorrelator corr(
         fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
@@ -231,7 +256,7 @@ int main(int argc, char** argv) {
                         g_sink = g_sink + acc;
                       });
   });
-  stages.push_back([](std::size_t n) {
+  add("sliding_correlator_scalar", [](std::size_t n) {
     const auto env = random_envelope(4096, 4);
     ScalarRefCorrelator corr(
         fdb::phy::chips_to_pattern(fdb::phy::default_preamble_chips()), 6);
@@ -241,7 +266,58 @@ int main(int argc, char** argv) {
       g_sink = g_sink + acc;
     });
   });
-  stages.push_back([](std::size_t n) {
+  // Cross-entity slot synthesis, two ways over the same 8-tag slot: the
+  // fused select+add coefficient kernel and the historical per-link
+  // fold (leak gain, then one keyed reflection pass per entity).
+  // Throughput counts output samples, so the ratio is the per-gateway
+  // slot-synthesis speedup at this entity count.
+  add("synthesis_slot_batched", [](std::size_t n) {
+    constexpr std::size_t kSamples = 4096;
+    constexpr std::size_t kEntities = 8;
+    const auto carrier = random_iq(kSamples, 9);
+    fdb::Rng rng(10);
+    std::vector<std::uint8_t> states(kEntities * kSamples);
+    for (auto& s : states) s = rng.uniform() < 0.5 ? 1 : 0;
+    std::vector<const std::uint8_t*> masks(kEntities);
+    std::vector<fdb::cf32> c_on(kEntities), c_off(kEntities);
+    for (std::size_t e = 0; e < kEntities; ++e) {
+      masks[e] = states.data() + e * kSamples;
+      c_on[e] = rng.cn(1e-3);
+      c_off[e] = rng.cn(1e-4);
+    }
+    const fdb::cf32 leak = rng.cn(1e-2);
+    std::vector<fdb::cf32> scratch(kSamples), out(kSamples);
+    return time_stage("synthesis_slot_batched", kSamples, 32, n, [&] {
+      fdb::sim::WaveformSynthesizer::synthesize_slot_gateway(
+          carrier, leak, masks, c_on, c_off, scratch, out);
+      g_sink = g_sink + out[0].real();
+    });
+  });
+  add("synthesis_slot_perlink", [](std::size_t n) {
+    constexpr std::size_t kSamples = 4096;
+    constexpr std::size_t kEntities = 8;
+    const auto carrier = random_iq(kSamples, 9);
+    fdb::Rng rng(10);
+    std::vector<std::uint8_t> states(kEntities * kSamples);
+    for (auto& s : states) s = rng.uniform() < 0.5 ? 1 : 0;
+    std::vector<fdb::cf32> c_on(kEntities), c_off(kEntities);
+    for (std::size_t e = 0; e < kEntities; ++e) {
+      c_on[e] = rng.cn(1e-3);
+      c_off[e] = rng.cn(1e-4);
+    }
+    const fdb::cf32 leak = rng.cn(1e-2);
+    std::vector<fdb::cf32> out(kSamples);
+    return time_stage("synthesis_slot_perlink", kSamples, 32, n, [&] {
+      fdb::sim::WaveformSynthesizer::apply_gain(carrier, leak, out);
+      for (std::size_t e = 0; e < kEntities; ++e) {
+        fdb::sim::WaveformSynthesizer::add_keyed_reflection(
+            carrier, {states.data() + e * kSamples, kSamples}, 0, c_on[e],
+            c_off[e], out);
+      }
+      g_sink = g_sink + out[0].real();
+    });
+  });
+  add("integrate_slice_chain", [](std::size_t n) {
     const auto env = random_envelope(4096, 5);
     fdb::phy::IntegrateAndDump integrator(6);
     fdb::phy::AdaptiveSlicer slicer;
@@ -253,7 +329,7 @@ int main(int argc, char** argv) {
       g_sink = g_sink + (bits.empty() ? 0.0f : bits[0]);
     });
   });
-  stages.push_back([](std::size_t n) {
+  add("self_interference_normalizer", [](std::size_t n) {
     const auto env = random_envelope(4096, 6);
     std::vector<std::uint8_t> states(env.size());
     for (std::size_t i = 0; i < states.size(); ++i) states[i] = (i / 480) % 2;
@@ -264,7 +340,7 @@ int main(int argc, char** argv) {
       g_sink = g_sink + out[0];
     });
   });
-  stages.push_back([](std::size_t n) {
+  add("feedback_decode", [](std::size_t n) {
     fdb::phy::RateConfig rates;
     rates.samples_per_chip = 6;
     rates.asymmetry = 40;
@@ -279,7 +355,7 @@ int main(int argc, char** argv) {
     });
   });
   for (const std::size_t fft_size : {256ul, 4096ul}) {
-    stages.push_back([fft_size](std::size_t n) {
+    add("fft_" + std::to_string(fft_size), [fft_size](std::size_t n) {
       auto data = random_iq(fft_size, 8);
       return time_stage("fft_" + std::to_string(fft_size), fft_size, 32, n,
                         [&] {
@@ -288,7 +364,7 @@ int main(int argc, char** argv) {
                         });
     });
   }
-  stages.push_back([](std::size_t n) {
+  add("full_frame_decode", [](std::size_t n) {
     // Whole receive chain: sync + slice + FM0 + deframe of a 32B frame.
     fdb::phy::ModemConfig config;
     config.rates.samples_per_chip = 6;
@@ -306,7 +382,7 @@ int main(int argc, char** argv) {
                (result.payload.empty() ? 0.0f : result.payload[0]);
     });
   });
-  stages.push_back([](std::size_t n) {
+  add("full_rx_chain", [](std::size_t n) {
     // Streaming receive chain end to end: batch correlation, peak
     // confirmation, and zero-copy frame decode over a continuous
     // multi-frame envelope stream.
@@ -330,7 +406,7 @@ int main(int argc, char** argv) {
       g_sink = g_sink + static_cast<float>(frames);
     });
   });
-  stages.push_back([](std::size_t n) {
+  add("flowgraph_throughput", [](std::size_t n) {
     // Engine overhead: source -> moving average -> null sink.
     return time_stage("flowgraph_throughput", 65536, 1, n, [&] {
       fdb::fg::Graph graph;
@@ -348,8 +424,34 @@ int main(int argc, char** argv) {
     });
   });
 
+  // --stages: keep only matching stages (exit 2 on a bad regex or an
+  // empty selection, so CI typos fail loudly instead of gating nothing).
+  std::vector<NamedStage> stages;
+  if (cli.stages_filter.empty()) {
+    stages = std::move(all_stages);
+  } else {
+    std::regex re;
+    try {
+      re = std::regex(cli.stages_filter);
+    } catch (const std::regex_error& err) {
+      std::fprintf(stderr, "%s: bad --stages regex '%s': %s\n", argv[0],
+                   cli.stages_filter.c_str(), err.what());
+      return 2;
+    }
+    for (auto& stage : all_stages) {
+      if (std::regex_search(stage.name, re)) {
+        stages.push_back(std::move(stage));
+      }
+    }
+    if (stages.empty()) {
+      std::fprintf(stderr, "%s: --stages '%s' matched no stage\n", argv[0],
+                   cli.stages_filter.c_str());
+      return 2;
+    }
+  }
+
   const auto results = runner.map(
-      stages.size(), [&](std::size_t i) { return stages[i](reps); });
+      stages.size(), [&](std::size_t i) { return stages[i].fn(reps); });
 
   fdb::sim::Report report("e8_dsp_micro");
   report.set_run_info(reps, runner.jobs());
@@ -362,10 +464,14 @@ int main(int argc, char** argv) {
                  r.msps.ci95_halfwidth(), r.msps.min(), r.msps.max()});
   }
   report.add_note("Shape check: every stage clears a 2 MHz ADC rate with"
-                  " margin. sliding_correlator (batch kernel) vs"
-                  " sliding_correlator_scalar (seed per-sample loop) is the"
-                  " headline batch speedup; fir_63tap vs fir_63tap_scalar"
-                  " isolates block-convolution gains on the same filter;"
-                  " full_rx_chain times the streaming receiver end to end.");
+                  " margin. sliding_correlator_simd (dispatched blocked-dot"
+                  " kernel) vs sliding_correlator (scalar batch reference,"
+                  " bit-identical output) is the SIMD speedup;"
+                  " sliding_correlator vs sliding_correlator_scalar (seed"
+                  " per-sample loop) is the batch speedup;"
+                  " synthesis_slot_batched vs synthesis_slot_perlink is the"
+                  " fused cross-entity slot-synthesis gain; full_rx_chain"
+                  " times the streaming receiver end to end. --stages REGEX"
+                  " runs a subset.");
   return report.emit(cli) ? 0 : 1;
 }

@@ -5,11 +5,24 @@
 // to the (large, slowly varying) ambient-carrier DC level.
 //
 // Batch-first: the primary API is process(span, span), which keeps the
-// window in a contiguous history buffer (no modulo indexing) and tracks
-// the window mean and energy incrementally — O(1) bookkeeping plus one
-// contiguous, auto-vectorizable dot product per output sample. The
-// scalar process(x) is a thin wrapper over the batch kernel, so chunked
-// and sample-at-a-time feeding are bit-identical.
+// window in a contiguous history buffer (no modulo indexing), tracks
+// the window mean and energy incrementally, and computes the pattern
+// dots through an output-blocked SIMD kernel (8-wide AVX-512 /
+// 4-wide AVX2 FMA lanes when the build ISA has them, a scalar loop
+// otherwise). process_scalar(span, span) is the bit-exact scalar
+// reference the SIMD path is verified against; process(x) is a
+// specialized single-sample path over the same arithmetic. All three
+// are bit-identical for any chunking of the stream:
+//
+//   * every float×float product is exact in double (24+24 < 53 bits),
+//     so vector FMA ≡ scalar multiply-then-add, and
+//   * the dot's summation tree is fixed (four k-mod-4 partial sums
+//     combined as (d0+d1)+(d2+d3), then a sequential tail) and each
+//     SIMD lane reproduces that tree exactly, one output per lane.
+//
+// The TU is compiled with -ffp-contract=off so the genuinely
+// contraction-sensitive double×double expressions (energy and
+// mean-removal folds) round identically in every path.
 #pragma once
 
 #include <cstddef>
@@ -28,12 +41,22 @@ class SlidingCorrelator {
   /// Pushes one envelope sample; returns the normalised correlation in
   /// [-1, 1] once the window has filled (0 before that, including the
   /// samples leading up to — but not — the exact-fill sample).
+  /// Specialized single-sample path (no span/loop overhead), same
+  /// arithmetic as the batch kernels.
   float process(float x);
 
   /// Batch kernel: out[i] is the correlation after pushing in[i].
   /// Arbitrary span lengths; state carries across calls, so splitting a
-  /// stream into chunks of any size yields bit-identical output.
+  /// stream into chunks of any size yields bit-identical output. Pattern
+  /// dots run through the output-blocked SIMD kernel when the build ISA
+  /// provides one.
   void process(std::span<const float> in, std::span<float> out);
+
+  /// Scalar determinism reference: the per-sample loop the SIMD path
+  /// must match bit-for-bit (pinned by tests/dsp/batch_equivalence).
+  /// Same state machine as process(span, span); only the dot kernel
+  /// differs in shape, not in arithmetic.
+  void process_scalar(std::span<const float> in, std::span<float> out);
 
   /// True once the internal window is full and outputs are meaningful.
   bool warmed_up() const { return total_ >= window_len_; }
@@ -45,7 +68,21 @@ class SlidingCorrelator {
   void compact();
   void refresh_sums(const float* window);
 
-  std::vector<float> stretched_;  // pattern expanded & mean-removed
+  /// Reference pattern dot over one window: four k-mod-4 partial sums
+  /// combined (d0+d1)+(d2+d3) plus a sequential tail.
+  double dot_one(const float* win) const;
+
+  /// Same summation tree over an already float→double-widened window
+  /// (the widening is exact, so the two are bit-identical).
+  double dot_one_d(const double* win) const;
+
+  /// Blocked dots over the widened window: dots[j] = dot of the window
+  /// starting at first + j, for j in [0, n), with consecutive outputs
+  /// mapped to SIMD lanes (each lane reproduces dot_one's tree exactly).
+  void dot_block(const double* first, std::size_t n, double* dots) const;
+
+  std::vector<float> stretched_;   // pattern expanded & mean-removed
+  std::vector<double> pattern_d_;  // same taps widened once for the dot
   double pattern_energy_ = 0.0;
   double pattern_sum_ = 0.0;  // residual DC of the float-rounded pattern
   std::size_t window_len_ = 0;
@@ -56,6 +93,14 @@ class SlidingCorrelator {
   // buffer runs out (amortised O(1) per sample).
   std::vector<float> hist_;
   std::size_t cursor_ = 0;
+
+  // Per-block scratch for the two-pass batch kernel (bookkeeping pass
+  // records mean/denom per output, dot pass fills dots). Lazily sized to
+  // the largest block processed so far.
+  std::vector<double> mean_buf_;
+  std::vector<double> denom_buf_;
+  std::vector<double> dot_buf_;
+  std::vector<double> win_d_;  // window widened to double once per block
 
   // Incremental window statistics (doubles: float inputs accumulate
   // exactly enough precision, and a periodic refresh re-derives them
@@ -76,6 +121,16 @@ class PeakDetector {
   /// the first process() call) at which a confirmed peak occurred, once
   /// the lockout has elapsed and the peak is finalised.
   std::optional<std::size_t> process(float corr);
+
+  /// Bulk-advances the sample counter by `n` values without examining
+  /// them. Only legal while !is_tracking() and when every skipped value
+  /// is below threshold — i.e. when process() would have been a no-op
+  /// for each. Lets batch callers pre-scan a block's maximum and skip
+  /// the per-sample state machine over quiet stretches.
+  void skip(std::size_t n);
+
+  /// True while a candidate peak is being tracked (lockout running).
+  bool is_tracking() const { return tracking_; }
 
   void reset();
 

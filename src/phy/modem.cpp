@@ -193,23 +193,12 @@ std::vector<std::uint8_t> BackscatterRx::slice_chips(
   return decisions;
 }
 
-RxResult BackscatterRx::demodulate_frame(
-    std::span<const float> envelope) const {
-  RxResult result;
-  const auto sync =
-      find_sync(envelope, &result.diag.sync_corr);
-  if (!sync.has_value()) {
-    result.status = Status::kSyncNotFound;
-    return result;
-  }
+void BackscatterRx::decode_frame_from(std::span<const float> envelope,
+                                      std::size_t data_start_hint,
+                                      RxResult& result) const {
   const std::size_t spc = config_.rates.samples_per_chip;
   const std::size_t preamble_samples = default_preamble_length() * spc;
-  std::size_t data_start = *sync + 1;
-  if (data_start < preamble_samples) {
-    result.status = Status::kSyncNotFound;
-    return result;
-  }
-  data_start = refine_data_start(envelope, data_start);
+  const std::size_t data_start = refine_data_start(envelope, data_start_hint);
   const std::size_t preamble_start = data_start - preamble_samples;
   result.diag.sync_sample = data_start - 1;
 
@@ -222,12 +211,45 @@ RxResult BackscatterRx::demodulate_frame(
   if (!bits.has_value()) {
     result.status = Status::kTruncated;
     result.diag.chip_decisions = std::move(chips);
-    return result;
+    return;
   }
   auto deframed = deframe_bits(*bits);
   result.status = deframed.status;
   result.payload = std::move(deframed.payload);
   result.diag.chip_decisions = std::move(chips);
+}
+
+RxResult BackscatterRx::demodulate_frame(
+    std::span<const float> envelope) const {
+  RxResult result;
+  const auto sync =
+      find_sync(envelope, &result.diag.sync_corr);
+  if (!sync.has_value()) {
+    result.status = Status::kSyncNotFound;
+    return result;
+  }
+  const std::size_t spc = config_.rates.samples_per_chip;
+  const std::size_t preamble_samples = default_preamble_length() * spc;
+  const std::size_t data_start = *sync + 1;
+  if (data_start < preamble_samples) {
+    result.status = Status::kSyncNotFound;
+    return result;
+  }
+  decode_frame_from(envelope, data_start, result);
+  return result;
+}
+
+RxResult BackscatterRx::demodulate_frame_at(
+    std::span<const float> envelope, std::size_t data_start_hint) const {
+  RxResult result;
+  const std::size_t preamble_samples =
+      default_preamble_length() * config_.rates.samples_per_chip;
+  if (data_start_hint < preamble_samples ||
+      data_start_hint > envelope.size()) {
+    result.status = Status::kSyncNotFound;
+    return result;
+  }
+  decode_frame_from(envelope, data_start_hint, result);
   return result;
 }
 
@@ -237,18 +259,36 @@ std::optional<std::vector<std::uint8_t>> BackscatterRx::demodulate_bits(
   float corr = 0.0f;
   const auto sync = find_sync(envelope, &corr);
   if (!sync.has_value()) return std::nullopt;
+  const std::size_t preamble_samples =
+      default_preamble_length() * config_.rates.samples_per_chip;
+  const std::size_t data_start = *sync + 1;
+  if (data_start < preamble_samples) return std::nullopt;
+  auto bits = demodulate_bits_at(envelope, num_bits, data_start, diag);
+  if (diag != nullptr) {
+    // The burst path reports the coarse correlation peak, not the
+    // refined edge, matching its historical diagnostics.
+    diag->sync_corr = corr;
+    diag->sync_sample = *sync;
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> BackscatterRx::demodulate_bits_at(
+    std::span<const float> envelope, std::size_t num_bits,
+    std::size_t data_start_hint, RxDiagnostics* diag) const {
   const std::size_t spc = config_.rates.samples_per_chip;
   const std::size_t preamble_samples = default_preamble_length() * spc;
-  std::size_t data_start = *sync + 1;
-  if (data_start < preamble_samples) return std::nullopt;
-  data_start = refine_data_start(envelope, data_start);
+  if (data_start_hint < preamble_samples ||
+      data_start_hint > envelope.size()) {
+    return std::nullopt;
+  }
+  const std::size_t data_start = refine_data_start(envelope, data_start_hint);
   const std::size_t preamble_start = data_start - preamble_samples;
 
   auto chips = slice_chips(envelope, preamble_start, data_start,
                            2 * num_bits);
   if (diag != nullptr) {
-    diag->sync_corr = corr;
-    diag->sync_sample = *sync;
+    diag->sync_sample = data_start - 1;
     diag->chips_decoded = chips.size();
     diag->chip_decisions = chips;
   }

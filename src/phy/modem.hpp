@@ -74,11 +74,27 @@ class BackscatterRx {
   /// Locates the preamble and decodes one framed payload.
   RxResult demodulate_frame(std::span<const float> envelope) const;
 
+  /// Known-sync variant: decodes one framed payload when the caller has
+  /// already located the preamble — `data_start_hint` is the coarse
+  /// index of the first data sample (preamble_samples for a capture
+  /// that starts at the preamble, as StreamingReceiver hands over).
+  /// Skips the O(N·W) correlation search entirely; fine timing is still
+  /// recovered around the hint. diag.sync_corr is left at 0 (the caller
+  /// owns the correlation evidence that produced the hint).
+  RxResult demodulate_frame_at(std::span<const float> envelope,
+                               std::size_t data_start_hint) const;
+
   /// Decodes `num_bits` raw bits following the preamble (no framing).
   /// Returns nullopt when sync fails.
   std::optional<std::vector<std::uint8_t>> demodulate_bits(
       std::span<const float> envelope, std::size_t num_bits,
       RxDiagnostics* diag = nullptr) const;
+
+  /// Known-sync variant of demodulate_bits: same contract as
+  /// demodulate_frame_at for `data_start_hint`.
+  std::optional<std::vector<std::uint8_t>> demodulate_bits_at(
+      std::span<const float> envelope, std::size_t num_bits,
+      std::size_t data_start_hint, RxDiagnostics* diag = nullptr) const;
 
   const ModemConfig& config() const { return config_; }
 
@@ -99,6 +115,11 @@ class BackscatterRx {
                                         std::size_t preamble_start,
                                         std::size_t data_start,
                                         std::size_t max_chips) const;
+
+  /// Shared tail of the frame paths: refine timing around the hint,
+  /// slice, decode, deframe. Fills everything except diag.sync_corr.
+  void decode_frame_from(std::span<const float> envelope,
+                         std::size_t data_start_hint, RxResult& result) const;
 
   ModemConfig config_;
 };

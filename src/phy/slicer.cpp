@@ -65,9 +65,56 @@ std::uint8_t AdaptiveSlicer::decide(float chip_avg) {
 void AdaptiveSlicer::process(std::span<const float> chip_avgs,
                              std::vector<std::uint8_t>& decisions,
                              std::vector<float>* soft) {
-  for (const float avg : chip_avgs) {
-    decisions.push_back(decide(avg));
+  // Rolling window extremes over the virtual sequence
+  //   [the filled_ retained values, oldest first] ++ chip_avgs
+  // via monotonic deques: each element enters and leaves each deque at
+  // most once, so the whole batch costs O(n) instead of O(n·window).
+  // The front of each deque is exactly the min/max decide() finds by
+  // rescanning — same floats, same decisions.
+  const std::size_t w = history_.size();
+  const std::size_t prior = filled_;
+  minq_.clear();
+  maxq_.clear();
+  std::size_t min_head = 0;
+  std::size_t max_head = 0;
+  const auto push = [&](std::size_t idx, float v) {
+    while (minq_.size() > min_head && minq_.back().second >= v) {
+      minq_.pop_back();
+    }
+    minq_.emplace_back(idx, v);
+    while (maxq_.size() > max_head && maxq_.back().second <= v) {
+      maxq_.pop_back();
+    }
+    maxq_.emplace_back(idx, v);
+  };
+  for (std::size_t k = 0; k < prior; ++k) {
+    push(k, history_[(pos_ + w - prior + k) % w]);
+  }
+  for (std::size_t i = 0; i < chip_avgs.size(); ++i) {
+    const float v = chip_avgs[i];
+    const std::size_t idx = prior + i;
+    push(idx, v);
+    // Evict indices that fell out of the w-wide window ending at idx.
+    const std::size_t oldest = idx + 1 >= w ? idx + 1 - w : 0;
+    while (minq_[min_head].first < oldest) ++min_head;
+    while (maxq_[max_head].first < oldest) ++max_head;
+    const float lo = minq_[min_head].second;
+    const float hi = maxq_[max_head].second;
+    threshold_ = 0.5f * (lo + hi);
+    const float swing = std::max(hi - lo, 1e-12f);
+    float effective_threshold = threshold_;
+    if (config_.hysteresis > 0.0f) {
+      const float offset = config_.hysteresis * swing;
+      effective_threshold += last_decision_ ? -offset : offset;
+    }
+    soft_ = std::clamp(0.5f + (v - effective_threshold) / swing, 0.0f,
+                       1.0f);
+    last_decision_ = v >= effective_threshold ? 1 : 0;
+    decisions.push_back(last_decision_);
     if (soft != nullptr) soft->push_back(soft_);
+    history_[pos_] = v;
+    pos_ = (pos_ + 1) % w;
+    if (filled_ < w) ++filled_;
   }
 }
 

@@ -50,6 +50,12 @@ class AdaptiveSlicer {
   float last_soft() const { return soft_; }
   float threshold() const { return threshold_; }
 
+  /// Batch path: identical decisions/soft values/state evolution to
+  /// calling decide() per chip, but the per-chip O(window) min/max
+  /// rescan is replaced by monotonic-deque rolling extremes (amortised
+  /// O(1) per chip). Bit-identical because window min/max are
+  /// order-independent — no FP reassociation is involved. Inputs must
+  /// be finite (envelope averages always are).
   void process(std::span<const float> chip_avgs,
                std::vector<std::uint8_t>& decisions,
                std::vector<float>* soft = nullptr);
@@ -64,6 +70,12 @@ class AdaptiveSlicer {
   float threshold_ = 0.0f;
   float soft_ = 0.5f;
   std::uint8_t last_decision_ = 0;
+
+  /// Monotonic-deque scratch for the batch path (index into the
+  /// virtual prior+batch sequence, value). Members so capacity
+  /// persists across calls.
+  std::vector<std::pair<std::size_t, float>> minq_;
+  std::vector<std::pair<std::size_t, float>> maxq_;
 };
 
 }  // namespace fdb::phy

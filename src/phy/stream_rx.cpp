@@ -88,6 +88,27 @@ std::size_t StreamingReceiver::search_span(std::span<const float> chunk,
                       std::span<float>(corr_.data(), m));
   const std::size_t preamble =
       default_preamble_length() * config_.rates.samples_per_chip;
+  // Quiet-block fast path: when no candidate peak is being tracked and
+  // nothing in this block reaches threshold, the per-sample detector
+  // loop is a no-op — one vectorizable max-scan proves it, and the
+  // detector/position bookkeeping advances in bulk. (The retention trim
+  // below already runs once per block.)
+  if (!peaks_.is_tracking()) {
+    float block_max = 0.0f;
+    for (std::size_t j = 0; j < m; ++j) {
+      block_max = std::max(block_max, std::abs(corr_[j]));
+    }
+    if (block_max < config_.sync_threshold) {
+      peaks_.skip(m);
+      position_ += m;
+      std::uint64_t floor = search_start_;
+      if (position_ > history_cap_ && position_ - history_cap_ > floor) {
+        floor = position_ - history_cap_;
+      }
+      if (floor > history_start_) drop_history_front(floor);
+      return i + m;
+    }
+  }
   for (std::size_t j = 0; j < m; ++j) {
     const std::uint64_t abs_index = position_++;
     // Magnitude: polarity-inverted frames still acquire (FM0 decodes
@@ -145,15 +166,23 @@ std::size_t StreamingReceiver::collect_span(std::span<const float> chunk,
 void StreamingReceiver::try_decode() {
   // The capture [preamble_start, position_) is a zero-copy view of the
   // history buffer; lean on the burst modem: it holds exactly one frame
-  // candidate.
+  // candidate. History was trimmed so the capture starts exactly at the
+  // preamble — sync is already known, so use the known-sync decode
+  // variants with data-start hint = preamble length instead of paying
+  // the modem's O(N·W) correlation search again (it dominated the whole
+  // streaming decode cost). False peaks the stream correlator let
+  // through are still rejected: fine timing finds no coherent preamble
+  // edge and the header CRC gates the decode.
   assert(position_ >= history_start_);
   const auto len = static_cast<std::size_t>(position_ - history_start_);
   assert(len <= history_size());
   const std::span<const float> capture(buf_.data() + head_, len);
   BackscatterRx rx(config_);
+  const std::size_t pre_samples =
+      default_preamble_length() * config_.rates.samples_per_chip;
 
   // First pass: do we know the frame length yet?
-  const auto header_bits = rx.demodulate_bits(capture, 16);
+  const auto header_bits = rx.demodulate_bits_at(capture, 16, pre_samples);
   if (!header_bits.has_value() || header_bits->size() < 16) {
     // False preamble hit; resume the hunt.
     log_debug("stream_rx: header undecodable, dropping sync");
@@ -179,7 +208,7 @@ void StreamingReceiver::try_decode() {
 
   // Full frame present: decode and report.
   StreamFrame frame;
-  const auto result = rx.demodulate_frame(capture);
+  const auto result = rx.demodulate_frame_at(capture, pre_samples);
   frame.status = result.status;
   frame.payload = result.payload;
   frame.start_sample = sync_sample_ + 1;

@@ -402,6 +402,25 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     serving[k] = best;
   }
 
+  // Shared per-link reflection couplings, precomputed once per trial
+  // (they are trial-constant): the composed ambient->tag->gateway
+  // coefficient of each switch position, exactly as the synthesizer
+  // folds them (h_tag->gw * Gamma(state) * h_ambient->tag, left to
+  // right). Every consumer — the analytic swing table, the per-slot
+  // batched synthesis and the escalation path — reads these tables
+  // instead of recomputing the product per (slot, tag, gateway).
+  auto coup_on = arena.alloc<cf32>(n_tags * n_gw);
+  auto coup_off = arena.alloc<cf32>(n_tags * n_gw);
+  for (std::size_t k = 0; k < n_tags; ++k) {
+    const auto& gamma = modulators_[k].states();
+    for (std::size_t g = 0; g < n_gw; ++g) {
+      coup_on[k * n_gw + g] =
+          h_tr[k * n_gw + g] * gamma.gamma_reflect * h_st[k];
+      coup_off[k * n_gw + g] =
+          h_tr[k * n_gw + g] * gamma.gamma_absorb * h_st[k];
+    }
+  }
+
   // Ambient carrier realisation for the whole trial, so any decode
   // window is a pure history lookup. The analytic-only mode never
   // touches samples; kHybrid reads it for escalated windows. Neither
@@ -454,15 +473,21 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     rx_slot = arena.alloc<cf32>(n_gw * slot_samples_);
   }
 
-  // Shared per-link reflection couplings: the composed
-  // ambient->tag->gateway coefficient of each switch position, exactly
-  // as the synthesizer folds them (same expression, same op order).
-  const auto coupling = [&](std::size_t k, std::size_t g) {
-    const auto& gamma = modulators_[k].states();
-    const cf32 c_on = h_tr[k * n_gw + g] * gamma.gamma_reflect * h_st[k];
-    const cf32 c_off = h_tr[k * n_gw + g] * gamma.gamma_absorb * h_st[k];
-    return std::pair<cf32, cf32>(c_on, c_off);
-  };
+  // Cross-entity slot-synthesis scratch (kWaveform slots and kHybrid
+  // escalations both run the fused per-gateway kernel): the per-slot
+  // entity mask pointers, the compacted coupling pair of each entity at
+  // the gateway being synthesized, and the coefficient accumulator.
+  // Preallocated per trial so the arena's capacity stays warm-stable.
+  std::span<const std::uint8_t*> mask_ptrs{};
+  std::span<cf32> slot_on{};
+  std::span<cf32> slot_off{};
+  std::span<cf32> coeff_scratch{};
+  if (waveform_all || hybrid) {
+    mask_ptrs = arena.alloc<const std::uint8_t*>(n_tags);
+    slot_on = arena.alloc<cf32>(n_tags);
+    slot_off = arena.alloc<cf32>(n_tags);
+    coeff_scratch = arena.alloc<cf32>(slot_samples_);
+  }
 
   // Analytic fast path: per-trial envelope swing of every (tag,
   // gateway) link — exact for the block-static channel — and a per
@@ -474,9 +499,8 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     delta = arena.alloc<float>(n_tags * n_gw);
     for (std::size_t k = 0; k < n_tags; ++k) {
       for (std::size_t g = 0; g < n_gw; ++g) {
-        const auto [c_on, c_off] = coupling(k, g);
-        delta[k * n_gw + g] =
-            static_cast<float>(envelope_swing(h_sr[g], c_on, c_off));
+        delta[k * n_gw + g] = static_cast<float>(envelope_swing(
+            h_sr[g], coup_on[k * n_gw + g], coup_off[k * n_gw + g]));
       }
     }
     i_sum = arena.alloc_zeroed<float>(n_gw * slots);
@@ -602,18 +626,33 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         const std::size_t base = s * slot_samples_;
         const auto carrier = ambient.subspan(base, slot_samples_);
         const auto out = cache.subspan(base, slot_samples_);
-        WaveformSynthesizer::apply_gain(carrier, h_sr[g], out);
+        // Gather the in-range on-air entities of this slot (mask views
+        // into the zero-padded modulated frames plus their coupling
+        // pair at this gateway), then run the fused slot kernel once.
+        std::size_t n_ent = 0;
         for (std::uint32_t idx = slot_frames_off[s];
              idx < slot_frames_off[s + 1]; ++idx) {
           FrameLog& fl = frame_log[slot_frames[idx]];
           if (!in_range_[fl.tag * n_gw + g]) continue;
-          if (fl.states.empty()) fl.states = tx_.modulate(fl.payload);
-          const auto [c_on, c_off] = coupling(fl.tag, g);
-          WaveformSynthesizer::add_keyed_reflection(
-              carrier, fl.states,
-              static_cast<std::size_t>(s - fl.start_slot) * slot_samples_,
-              c_on, c_off, out);
+          if (fl.states.empty()) {
+            fl.states = tx_.modulate(fl.payload);
+            // Zero-pad to whole slots: state 0 is absorb, which is
+            // exactly the "frame ended mid-slot" semantics.
+            fl.states.resize(frame_slots_ * slot_samples_, 0);
+          }
+          mask_ptrs[n_ent] =
+              fl.states.data() +
+              static_cast<std::size_t>(s - fl.start_slot) * slot_samples_;
+          slot_on[n_ent] = coup_on[fl.tag * n_gw + g];
+          slot_off[n_ent] = coup_off[fl.tag * n_gw + g];
+          ++n_ent;
         }
+        WaveformSynthesizer::synthesize_slot_gateway(
+            carrier, h_sr[g],
+            std::span<const std::uint8_t* const>(mask_ptrs.data(), n_ent),
+            std::span<const cf32>(slot_on.data(), n_ent),
+            std::span<const cf32>(slot_off.data(), n_ent), coeff_scratch,
+            out);
         noise[g].process(out, out);
       }
       dsp::EnvelopeDetector env = synth_.make_envelope();
@@ -798,6 +837,9 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         // (kHybrid) lazily from the frame log, never in kAnalytic.
         if (waveform_all) {
           tag.states = tx_.modulate(tag.payload);
+          // Zero-pad to whole slots (0 = absorb): every slot of the
+          // frame is then a plain pointer view for the slot kernel.
+          tag.states.resize(frame_slots_ * slot_samples_, 0);
         } else if (hybrid) {
           tag.frame_id = static_cast<std::uint32_t>(frame_log.size());
           frame_log.push_back({static_cast<std::uint32_t>(k), slot,
@@ -819,29 +861,40 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
       ++idle_wait_slots;  // dead air while timers / verdict drains run
     }
 
-    // Slot synthesis runs on the shared batch kernels: every gateway
-    // hears the same per-slot tag reflections — direct ambient leakage,
-    // then each active tag folded in as a per-state coupling
-    // coefficient (h_tag->gw * Gamma(state) * h_ambient->tag) — through
-    // its own link gains, AWGN fork and RC envelope state. The fleet
-    // modes skip this entirely: the analytic path below tracks the
-    // interference sums instead, and kHybrid re-synthesizes only the
-    // windows its contested frames demand.
+    // Slot synthesis is one pass across entities, not per link: stage 1
+    // resolves every active tag's per-sample mask block for this slot
+    // once (shared by all gateways — the zero-padded modulated frames
+    // make each block a plain pointer view); stage 2 runs the fused
+    // per-gateway kernel, which sums the selected coupling coefficients
+    // (h_tag->gw * Gamma(state) * h_ambient->tag, from the per-trial
+    // tables) and multiplies the carrier in once, then the gateway's
+    // AWGN fork and RC envelope state. The fleet modes skip this
+    // entirely: the analytic path below tracks the interference sums
+    // instead, and kHybrid re-synthesizes only the windows its
+    // contested frames demand.
     if (waveform_all) {
       const std::size_t base = static_cast<std::size_t>(slot) * slot_samples_;
       const auto carrier =
           std::span<const cf32>(ambient).subspan(base, slot_samples_);
+      for (std::size_t e = 0; e < active.size(); ++e) {
+        const TagRt& tag = rt[active[e]];
+        mask_ptrs[e] =
+            tag.states.data() +
+            static_cast<std::size_t>(slot - tag.start_slot) * slot_samples_;
+      }
       for (std::size_t g = 0; g < n_gw; ++g) {
-        const auto gw_slot = rx_slot.subspan(g * slot_samples_, slot_samples_);
-        WaveformSynthesizer::apply_gain(carrier, h_sr[g], gw_slot);
-        for (const std::size_t k : active) {
-          const TagRt& tag = rt[k];
-          const auto [c_on, c_off] = coupling(k, g);
-          const std::size_t off0 =
-              static_cast<std::size_t>(slot - tag.start_slot) * slot_samples_;
-          WaveformSynthesizer::add_keyed_reflection(carrier, tag.states, off0,
-                                                    c_on, c_off, gw_slot);
+        for (std::size_t e = 0; e < active.size(); ++e) {
+          slot_on[e] = coup_on[active[e] * n_gw + g];
+          slot_off[e] = coup_off[active[e] * n_gw + g];
         }
+        const auto gw_slot = rx_slot.subspan(g * slot_samples_, slot_samples_);
+        WaveformSynthesizer::synthesize_slot_gateway(
+            carrier, h_sr[g],
+            std::span<const std::uint8_t* const>(mask_ptrs.data(),
+                                                 active.size()),
+            std::span<const cf32>(slot_on.data(), active.size()),
+            std::span<const cf32>(slot_off.data(), active.size()),
+            coeff_scratch, gw_slot);
         noise[g].process(gw_slot, gw_slot);
         envelopes[g].process(
             gw_slot, env_buf.subspan(g * total + base, slot_samples_));

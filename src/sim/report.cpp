@@ -18,12 +18,16 @@ namespace {
   std::FILE* out = code == 0 ? stdout : stderr;
   std::fprintf(out,
                "usage: %s [--trials N] [--jobs N] [--format table|csv|json]"
-               " [--output PATH]\n"
+               " [--output PATH] [--stages REGEX]\n"
                "  --trials N   %s (default: %zu; 0 = bench default)\n"
                "  --jobs N     worker threads (default 0 = all hardware"
                " threads)\n"
                "  --format F   output format: table (default), csv, json\n"
-               "  --output P   also write the rendered output to file P\n",
+               "  --output P   also write the rendered output to file P\n"
+               "  --stages R   run only stages whose name matches the"
+               " ECMAScript regex R\n"
+               "               (benches with named stages; unfiltered"
+               " benches ignore it)\n",
                argv0, trials_help, default_trials);
   std::exit(code);
 }
@@ -130,6 +134,8 @@ CliOptions parse_cli(int argc, char** argv, std::size_t default_trials,
       }
     } else if (std::strcmp(arg, "--output") == 0) {
       options.output_path = value();
+    } else if (std::strcmp(arg, "--stages") == 0) {
+      options.stages_filter = value();
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg);
       usage_and_exit(argv[0], trials_help, default_trials, 2);

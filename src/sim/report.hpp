@@ -10,6 +10,9 @@
 //   --jobs N                worker threads (0 = all hardware threads)
 //   --format table|csv|json output format (default table)
 //   --output PATH           also write the chosen format to a file
+//   --stages REGEX          run only matching stages (benches that
+//                           declare named stages, e.g. e8; others
+//                           ignore it)
 //
 // JSON schema (one object per run):
 //
@@ -39,7 +42,8 @@ struct CliOptions {
   std::size_t trials = 0;  ///< 0 = use the bench's per-point defaults
   std::size_t jobs = 0;    ///< 0 = hardware concurrency
   ReportFormat format = ReportFormat::kTable;
-  std::string output_path;  ///< empty = stdout only
+  std::string output_path;   ///< empty = stdout only
+  std::string stages_filter;  ///< ECMAScript regex; empty = all stages
 };
 
 /// Parses --trials/--jobs/--format/--output (+ --help). `default_trials`

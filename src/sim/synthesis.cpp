@@ -130,6 +130,55 @@ void WaveformSynthesizer::add_keyed_reflection(
   }
 }
 
+void WaveformSynthesizer::synthesize_slot_gateway(
+    std::span<const cf32> carrier, cf32 leak,
+    std::span<const std::uint8_t* const> masks, std::span<const cf32> c_on,
+    std::span<const cf32> c_off, std::span<cf32> coeff_scratch,
+    std::span<cf32> out) {
+  assert(carrier.size() == out.size());
+  assert(coeff_scratch.size() >= carrier.size());
+  assert(masks.size() == c_on.size() && masks.size() == c_off.size());
+  const std::size_t n = carrier.size();
+  // Pass 1: per-sample sum of the selected coupling coefficients.
+  // Entity-major passes on the float lanes of the accumulator: each is
+  // a two-way select between constants plus an add, which vectorizes
+  // without any complex multiplication in the inner loop.
+  auto* acc = reinterpret_cast<float*>(coeff_scratch.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[2 * i] = leak.real();
+    acc[2 * i + 1] = leak.imag();
+  }
+  for (std::size_t e = 0; e < masks.size(); ++e) {
+    const std::uint8_t* m = masks[e];
+    const float on_re = c_on[e].real();
+    const float on_im = c_on[e].imag();
+    const float off_re = c_off[e].real();
+    const float off_im = c_off[e].imag();
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[2 * i] += m[i] ? on_re : off_re;
+      acc[2 * i + 1] += m[i] ? on_im : off_im;
+    }
+  }
+  // Pass 2: one complex multiply by the carrier per sample — A entities
+  // cost A selects + 1 multiply instead of A multiplies.
+  for (std::size_t i = 0; i < n; ++i) out[i] = coeff_scratch[i] * carrier[i];
+}
+
+void WaveformSynthesizer::synthesize_slot_gateway_reference(
+    std::span<const cf32> carrier, cf32 leak,
+    std::span<const std::uint8_t* const> masks, std::span<const cf32> c_on,
+    std::span<const cf32> c_off, std::span<cf32> out) {
+  assert(carrier.size() == out.size());
+  assert(masks.size() == c_on.size() && masks.size() == c_off.size());
+  for (std::size_t i = 0; i < carrier.size(); ++i) {
+    cf32 coeff = leak;
+    for (std::size_t e = 0; e < masks.size(); ++e) {
+      coeff += masks[e][i] ? c_on[e] : c_off[e];
+    }
+    out[i] = coeff * carrier[i];
+  }
+}
+
 LinkSynthResult WaveformSynthesizer::synthesize_link(
     const LinkSynthSpec& spec, SynthArena& arena) const {
   assert(spec.modulator && spec.noise_a && spec.noise_b);

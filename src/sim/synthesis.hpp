@@ -179,6 +179,41 @@ class WaveformSynthesizer {
                                    std::size_t state_offset, cf32 c_on,
                                    cf32 c_off, std::span<cf32> acc);
 
+  /// Fused cross-entity slot synthesis for one gateway: for each sample,
+  ///   out[i] = (leak + sum_e (masks[e][i] ? c_on[e] : c_off[e]))
+  ///            * carrier[i]
+  /// masks[e] points at entity e's per-sample antenna states for this
+  /// slot (already resolved: the caller zero-pads modulated frames to
+  /// whole slots, so a 0 byte means absorb past the burst end). The
+  /// coupling coefficients are summed FIRST — one branch-free select+add
+  /// pass per entity over `coeff_scratch` — and the carrier is
+  /// multiplied in once, instead of once per entity as the per-link
+  /// add_keyed_reflection fold does. The two orderings are numerically
+  /// different at the ulp level (complex multiplication does not
+  /// distribute bit-exactly over float sums) — a sanctioned departure
+  /// from the historical per-link receive mix. The network golden suite
+  /// pins decode-verdict counts and energy tallies, none of which moved
+  /// when this kernel replaced the per-link fold.
+  /// `coeff_scratch` must hold at least carrier.size() samples and may
+  /// alias nothing else; out may alias carrier.
+  static void synthesize_slot_gateway(std::span<const cf32> carrier,
+                                      cf32 leak,
+                                      std::span<const std::uint8_t* const>
+                                          masks,
+                                      std::span<const cf32> c_on,
+                                      std::span<const cf32> c_off,
+                                      std::span<cf32> coeff_scratch,
+                                      std::span<cf32> out);
+
+  /// Per-sample scalar reference of the same fold — the determinism
+  /// reference tests/dsp/batch_equivalence pins the batched kernel
+  /// against (this TU is compiled with -ffp-contract=off so both paths
+  /// round identically on any build ISA).
+  static void synthesize_slot_gateway_reference(
+      std::span<const cf32> carrier, cf32 leak,
+      std::span<const std::uint8_t* const> masks, std::span<const cf32> c_on,
+      std::span<const cf32> c_off, std::span<cf32> out);
+
   // ---- orchestration -----------------------------------------------
 
   /// Runs the full two-device link chain over arena scratch and returns

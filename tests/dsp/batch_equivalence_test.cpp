@@ -22,6 +22,8 @@
 #include "dsp/iir.hpp"
 #include "dsp/moving_average.hpp"
 #include "phy/preamble.hpp"
+#include "phy/slicer.hpp"
+#include "sim/synthesis.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -32,7 +34,7 @@ namespace {
 /// and above typical window/tap counts, and a jumbo chunk bigger than
 /// the kernels' internal 4096-sample blocks.
 std::vector<std::size_t> random_chunks(std::size_t total, Rng& rng) {
-  static constexpr std::size_t kPalette[] = {1,  1,  2,  3,   5,   17,
+  static constexpr std::size_t kPalette[] = {1,  1,  2,  3,   5,    7,  17,
                                              64, 91, 256, 1024, 5000};
   std::vector<std::size_t> chunks;
   std::size_t left = total;
@@ -126,6 +128,139 @@ TEST(BatchEquivalence, SlidingCorrelator) {
   const auto pattern = phy::chips_to_pattern(phy::barker13_chips());
   expect_float_kernel_equivalent(SlidingCorrelator(pattern, 4),
                                  SlidingCorrelator(pattern, 4), 70000, 17);
+}
+
+TEST(BatchEquivalence, SlidingCorrelatorSimdDispatch) {
+  // Three-way pin with the full 34-chip frame preamble (the window the
+  // streaming receiver actually runs): per-sample process(x), the
+  // scalar batch reference process_scalar(span), and the dispatched
+  // process(span) — which routes to the SIMD dot kernel when the build
+  // ISA has AVX2+FMA or AVX-512 — must agree bit-for-bit. The SIMD
+  // kernel owes this to the exact-product theorem (float-valued
+  // operands multiply exactly in double, so FMA cannot round
+  // differently) plus the pinned 4-partial summation tree; chunk sizes
+  // differ between the two batch drives so block boundaries, history
+  // compaction, and the widened-window scratch refill all land at
+  // different offsets.
+  const auto pattern = phy::chips_to_pattern(phy::default_preamble_chips());
+  const std::size_t total = 70000;
+  const auto in = random_stream(total, 42);
+  SlidingCorrelator by_sample(pattern, 6);
+  SlidingCorrelator scalar_batch(pattern, 6);
+  SlidingCorrelator dispatched(pattern, 6);
+  std::vector<float> ref(total), scalar_out(total), simd_out(total);
+  for (std::size_t i = 0; i < total; ++i) ref[i] = by_sample.process(in[i]);
+  Rng chunk_a(424242);
+  std::size_t pos = 0;
+  for (const std::size_t n : random_chunks(total, chunk_a)) {
+    scalar_batch.process_scalar(std::span<const float>(in.data() + pos, n),
+                                std::span<float>(scalar_out.data() + pos, n));
+    pos += n;
+  }
+  Rng chunk_b(777);
+  pos = 0;
+  for (const std::size_t n : random_chunks(total, chunk_b)) {
+    dispatched.process(std::span<const float>(in.data() + pos, n),
+                       std::span<float>(simd_out.data() + pos, n));
+    pos += n;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(ref[i], scalar_out[i]) << "scalar batch diverged at " << i;
+    ASSERT_EQ(ref[i], simd_out[i]) << "dispatched batch diverged at " << i;
+  }
+}
+
+TEST(BatchEquivalence, AdaptiveSlicerBatch) {
+  // The slicer's batch path swaps the per-chip O(window) min/max rescan
+  // for monotonic-deque rolling extremes; window extremes involve no FP
+  // accumulation, so decisions, soft values, and threshold state must
+  // match decide() exactly — with and without hysteresis, across chunk
+  // splits that straddle the window wrap.
+  for (const float hysteresis : {0.0f, 0.08f}) {
+    phy::SlicerConfig cfg;
+    cfg.window_chips = 32;
+    cfg.hysteresis = hysteresis;
+    phy::AdaptiveSlicer scalar(cfg), batch(cfg);
+    const std::size_t total = 4000;
+    Rng rng(31 + static_cast<std::uint64_t>(hysteresis * 100));
+    std::vector<float> chips(total);
+    for (auto& c : chips) {
+      const bool on = rng.uniform() < 0.5;
+      c = (on ? 1.3f : 1.0f) + 0.05f * static_cast<float>(rng.normal());
+    }
+    std::vector<std::uint8_t> ref_bits, out_bits;
+    std::vector<float> ref_soft, out_soft;
+    for (const float c : chips) {
+      ref_bits.push_back(scalar.decide(c));
+      ref_soft.push_back(scalar.last_soft());
+    }
+    Rng chunk_rng(55);
+    std::size_t pos = 0;
+    for (const std::size_t n : random_chunks(total, chunk_rng)) {
+      batch.process(std::span<const float>(chips.data() + pos, n), out_bits,
+                    &out_soft);
+      pos += n;
+    }
+    ASSERT_EQ(ref_bits.size(), out_bits.size());
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(ref_bits[i], out_bits[i]) << "decision diverged at " << i;
+      ASSERT_EQ(ref_soft[i], out_soft[i]) << "soft diverged at " << i;
+    }
+    ASSERT_EQ(scalar.threshold(), batch.threshold());
+  }
+}
+
+TEST(BatchEquivalence, SlotGatewayFused) {
+  // The fused per-gateway slot kernel must reproduce its per-sample
+  // reference exactly: both sum the selected coupling coefficients
+  // before the single carrier multiply, so the only question is whether
+  // vectorization/alignment perturbs rounding — it must not, including
+  // on spans deliberately offset from the allocation base (misaligned
+  // relative to any vector width).
+  constexpr std::size_t kEntities = 7;
+  constexpr std::size_t kSamples = 3001;  // odd on purpose
+  Rng rng(91);
+  std::vector<cf32> carrier_buf(kSamples + 3);
+  for (auto& c : carrier_buf) c = rng.cn(1.0);
+  std::vector<std::vector<std::uint8_t>> mask_store(kEntities);
+  std::vector<const std::uint8_t*> masks(kEntities);
+  std::vector<cf32> c_on(kEntities), c_off(kEntities);
+  for (std::size_t e = 0; e < kEntities; ++e) {
+    mask_store[e].resize(kSamples + 3);
+    for (auto& m : mask_store[e]) {
+      m = rng.uniform() < 0.5 ? std::uint8_t{1} : std::uint8_t{0};
+    }
+    c_on[e] = rng.cn(1e-3);
+    c_off[e] = rng.cn(1e-4);
+  }
+  const cf32 leak = rng.cn(1e-2);
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{3}}) {
+    const std::span<const cf32> carrier(carrier_buf.data() + offset,
+                                        kSamples);
+    for (std::size_t e = 0; e < kEntities; ++e) {
+      masks[e] = mask_store[e].data() + offset;
+    }
+    std::vector<cf32> scratch(kSamples), fused(kSamples), ref(kSamples);
+    sim::WaveformSynthesizer::synthesize_slot_gateway(
+        carrier, leak, masks, c_on, c_off, scratch, fused);
+    sim::WaveformSynthesizer::synthesize_slot_gateway_reference(
+        carrier, leak, masks, c_on, c_off, ref);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      ASSERT_EQ(ref[i].real(), fused[i].real())
+          << "offset " << offset << " sample " << i;
+      ASSERT_EQ(ref[i].imag(), fused[i].imag())
+          << "offset " << offset << " sample " << i;
+    }
+    // Aliasing contract: out may alias carrier.
+    std::vector<cf32> in_place(carrier.begin(), carrier.end());
+    sim::WaveformSynthesizer::synthesize_slot_gateway(
+        in_place, leak, masks, c_on, c_off, scratch, in_place);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      ASSERT_EQ(ref[i].real(), in_place[i].real()) << i;
+      ASSERT_EQ(ref[i].imag(), in_place[i].imag()) << i;
+    }
+  }
 }
 
 TEST(BatchEquivalence, EnvelopeDetector) {
