@@ -1,0 +1,188 @@
+// E14 — Fault injection & graceful degradation. The fault engine
+// (sim/faults.hpp) schedules deterministic gateway outages, ambient
+// carrier sags, burst interferers, and tag hardware faults from a
+// salted side substream; this experiment measures how the stack
+// degrades as the master fault intensity rises, whether the paired MAC
+// responses recover (dead-gateway failover with measured
+// time-to-failover), and whether the hybrid-fidelity engine tells the
+// same degradation story as full waveform synthesis.
+//
+// Every section is deterministic — bit-identical at any --jobs — and
+// CI gates on the headline shape: delivery falls monotonically with
+// intensity, no cliff at the lowest nonzero intensity, and the
+// intensity-0 column reproduces the fault-free engine.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mac/collision.hpp"
+#include "sim/faults.hpp"
+#include "sim/fleet.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using fdb::sim::FaultClass;
+using fdb::sim::FidelityMode;
+using fdb::sim::GatewayCombining;
+using fdb::sim::NetworkSimConfig;
+using fdb::sim::NetworkSimSummary;
+using fdb::sim::NetworkSimulator;
+using fdb::sim::NetworkTagConfig;
+
+// Small single-gateway deployment with headroom: light contention and
+// clean static links, so the fault engine — not collisions or the
+// channel — is what moves delivery. (The failover section adds a
+// second gateway itself; with two gateways under any-combining, a
+// single-gateway outage would be masked by macro-diversity and the
+// degradation curve would flatten.)
+NetworkSimConfig base_config() {
+  NetworkSimConfig config;
+  config.payload_bytes = 32;
+  config.slots_per_trial = 192;
+  config.ambient_position = {0.0, 0.0};
+  config.receiver_position = {5.0, 0.0};
+  for (std::size_t k = 0; k < 5; ++k) {
+    NetworkTagConfig tag;
+    tag.position = {4.5 + 0.7 * static_cast<double>(k % 3),
+                    1.0 + 0.6 * static_cast<double>(k)};
+    config.tags.push_back(tag);
+  }
+  config.backoff_min_slots = 16;
+  config.seed = 29;
+  // Hotter-than-default fault load so the 192-slot trials see several
+  // events per class even at low master intensity; the defaults are
+  // tuned for long-running fleet trials.
+  config.faults.gateway_outages_per_kslot = 15.0;
+  config.faults.gateway_outage_mean_slots = 30.0;
+  config.faults.carrier_sags_per_kslot = 15.0;
+  config.faults.carrier_sag_mean_slots = 16.0;
+  config.faults.carrier_sag_floor = 0.2;
+  config.faults.interferer_bursts_per_kslot = 20.0;
+  config.faults.interferer_burst_mean_slots = 8.0;
+  config.faults.tag_fault_fraction = 0.3;
+  return config;
+}
+
+NetworkSimSummary run(const fdb::sim::ExperimentRunner& runner,
+                      const NetworkSimConfig& config, std::size_t trials) {
+  const NetworkSimulator sim(config);
+  return runner.run_chunked<NetworkSimSummary>(
+      trials, [&sim](NetworkSimSummary& acc, std::size_t trial) {
+        acc.add(sim.run_trial(trial));
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/4,
+                                       "network trials per resilience arm");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  fdb::sim::Report report("e14_resilience");
+  report.set_run_info(cli.trials, runner.jobs());
+
+  // --- graceful degradation sweep ------------------------------------
+  // Master intensity x MAC x fidelity. Thinning nests the fault sets
+  // across intensities on common random numbers, so each arm's
+  // delivery column must fall monotonically.
+  const double intensities[] = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const std::pair<fdb::mac::MacKind, const char*> macs[] = {
+      {fdb::mac::MacKind::kCollisionNotify, "notify"},
+      {fdb::mac::MacKind::kTimeout, "timeout"}};
+  const std::pair<FidelityMode, const char*> modes[] = {
+      {FidelityMode::kWaveform, "waveform"},
+      {FidelityMode::kHybrid, "hybrid"}};
+
+  auto& sweep = report.section(
+      "graceful degradation: delivery vs fault intensity (deterministic)",
+      {"intensity", "mac", "mode", "attempted", "delivered", "delivery_ratio",
+       "fault_exposed", "exposed_delivery_ratio", "lost_outage", "lost_sag",
+       "lost_interference", "lost_tag_fault"});
+  for (const auto& [mac, mac_name] : macs) {
+    for (const auto& [mode, mode_name] : modes) {
+      for (const double intensity : intensities) {
+        auto config = base_config();
+        config.mac_kind = mac;
+        config.fleet.fidelity = mode;
+        config.faults.intensity = intensity;
+        const auto s = run(runner, config, cli.trials);
+        sweep.add_row({intensity, mac_name, mode_name, s.frames_attempted(),
+                       s.frames_delivered(), s.delivery_ratio(),
+                       s.faulted_frames_attempted, s.outage_delivery_ratio(),
+                       s.frames_lost_outage, s.frames_lost_sag,
+                       s.frames_lost_interference, s.frames_lost_tag_fault});
+      }
+    }
+  }
+
+  // --- dead-gateway failover -----------------------------------------
+  // Scripted kill of the primary gateway for the whole trial under
+  // kBestGateway: every tag starts on it, streaks out, and fails over
+  // to the survivor. Timeout MAC, so failed frames complete and feed
+  // the streak. time_to_failover is slots from the streak's first
+  // failed frame to the switch.
+  auto& failover = report.section(
+      "dead-gateway failover: scripted primary outage, kBestGateway, "
+      "timeout MAC (deterministic)",
+      {"streak_frames", "attempted", "delivered", "delivery_ratio",
+       "failovers", "mean_time_to_failover_slots", "gw0_decodes",
+       "gw1_decodes"});
+  for (const std::size_t streak : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    auto config = base_config();
+    config.faults = {};  // scripted outage only — no generated load
+    config.extra_gateways.push_back({9.0, 0.0});
+    config.combining = GatewayCombining::kBestGateway;
+    config.mac_kind = fdb::mac::MacKind::kTimeout;
+    config.failover_streak_frames = streak;
+    config.failover_holdoff_slots = 32;
+    config.faults.events.push_back(
+        {FaultClass::kGatewayOutage, 0,
+         static_cast<std::int64_t>(config.slots_per_trial), 0, 0.0});
+    const auto s = run(runner, config, cli.trials);
+    failover.add_row({streak, s.frames_attempted(), s.frames_delivered(),
+                      s.delivery_ratio(), s.failovers,
+                      s.mean_time_to_failover_slots(), s.gateway_decodes[0],
+                      s.gateway_decodes[1]});
+  }
+
+  // --- cross-fidelity agreement under faults -------------------------
+  // The analytic mirror consumes the same slot-domain fault schedule as
+  // synthesis; the hybrid engine must report the same degradation.
+  auto& agree = report.section(
+      "cross-fidelity agreement under faults, waveform vs hybrid "
+      "(deterministic)",
+      {"intensity", "dr_waveform", "dr_hybrid", "dr_abs_err",
+       "exposed_dr_waveform", "exposed_dr_hybrid", "escalation_rate"});
+  for (const double intensity : {0.2, 0.6}) {
+    auto config = base_config();
+    config.faults.intensity = intensity;
+    config.fleet.fidelity = FidelityMode::kWaveform;
+    const auto wf = run(runner, config, cli.trials);
+    config.fleet.fidelity = FidelityMode::kHybrid;
+    const auto hy = run(runner, config, cli.trials);
+    agree.add_row({intensity, wf.delivery_ratio(), hy.delivery_ratio(),
+                   std::abs(wf.delivery_ratio() - hy.delivery_ratio()),
+                   wf.outage_delivery_ratio(), hy.outage_delivery_ratio(),
+                   hy.escalation_rate()});
+  }
+
+  report.add_note(
+      "Fault sets are thinned from a fixed intensity-1.0 realisation per "
+      "trial (sim/faults.hpp), so they nest across intensities and the "
+      "delivery column degrades monotonically under common random "
+      "numbers instead of bouncing between unrelated fault draws.");
+  report.add_note(
+      "fault_exposed counts frames whose decode window overlapped any "
+      "fault at the gateways the combining policy listens to; "
+      "exposed_delivery_ratio is delivery within that set. "
+      "time_to_failover is measured from the first frame of the failure "
+      "streak to the gateway switch.");
+  return report.emit(cli) ? 0 : 1;
+}

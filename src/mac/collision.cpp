@@ -43,6 +43,15 @@ std::size_t notify_latency_slots(std::size_t base_delay_slots,
          static_cast<std::size_t>(std::llround(distance_m * slots_per_m));
 }
 
+std::size_t failover_holdoff_slots(Rng& rng, std::size_t base_slots,
+                                   std::size_t switch_count,
+                                   std::size_t max_exponent) {
+  const std::size_t base = std::max<std::size_t>(base_slots, 1);
+  const std::size_t holdoff = beb_window(base, switch_count, max_exponent);
+  const std::size_t jitter_window = base * (switch_count + 1);
+  return holdoff + static_cast<std::size_t>(rng.uniform_int(jitter_window));
+}
+
 CollisionStats run_collision_sim(MacKind kind,
                                  const CollisionSimParams& params) {
   assert(params.num_tags >= 1);

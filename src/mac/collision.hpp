@@ -93,6 +93,17 @@ std::size_t draw_backoff(Rng& rng, std::size_t min_slots,
 std::size_t notify_latency_slots(std::size_t base_delay_slots,
                                  double distance_m, double slots_per_m);
 
+/// Dead-gateway failover holdoff: once a tag abandons a serving gateway
+/// it blacklists it for `base_slots << min(switch_count, max_exponent)`
+/// slots plus a jittered retry offset drawn uniformly from [0,
+/// base_slots * (switch_count + 1)) — capped exponential growth so a
+/// flapping gateway is retried ever more lazily, jitter so a fleet of
+/// tags orphaned by the same outage does not retry in lockstep. Shared
+/// by the network engine's failover state machine and its tests.
+std::size_t failover_holdoff_slots(Rng& rng, std::size_t base_slots,
+                                   std::size_t switch_count,
+                                   std::size_t max_exponent);
+
 /// Runs the slotted contention simulation for the selected MAC.
 CollisionStats run_collision_sim(MacKind kind,
                                  const CollisionSimParams& params);

@@ -67,16 +67,30 @@ void StreamingReceiver::process(std::span<const float> samples) {
   std::size_t off = 0;
   while (off < samples.size()) {
     const std::size_t n = std::min(kBlock, samples.size() - off);
-    const auto chunk = samples.subspan(off, n);
-    // History gets every sample exactly once, in bulk; the state machine
-    // below only decides how the already-buffered samples are consumed.
-    append_history(chunk);
-    std::size_t i = 0;
-    while (i < n) {
-      i = state_ == State::kSearching ? search_span(chunk, i)
-                                      : collect_span(chunk, i);
-    }
+    // History gets every sample exactly once, in bulk; the drain below
+    // only decides how the already-buffered samples are consumed.
+    append_history(samples.subspan(off, n));
+    fed_ += n;
+    drain();
     off += n;
+  }
+}
+
+void StreamingReceiver::drain() {
+  // The scan cursor (position_) trails the fed position whenever a
+  // decode failure rewound it; re-span from the cursor after every step
+  // because a step may rewind it (and trims may advance head_).
+  while (position_ < fed_) {
+    assert(position_ >= history_start_);
+    const auto skip = static_cast<std::size_t>(position_ - history_start_);
+    const auto len = static_cast<std::size_t>(fed_ - position_);
+    assert(skip + len <= history_size());
+    const std::span<const float> pending(buf_.data() + head_ + skip, len);
+    if (state_ == State::kSearching) {
+      search_span(pending, 0);
+    } else {
+      collect_span(pending, 0);
+    }
   }
 }
 
@@ -184,17 +198,17 @@ void StreamingReceiver::try_decode() {
   // First pass: do we know the frame length yet?
   const auto header_bits = rx.demodulate_bits_at(capture, 16, pre_samples);
   if (!header_bits.has_value() || header_bits->size() < 16) {
-    // False preamble hit; resume the hunt.
-    log_debug("stream_rx: header undecodable, dropping sync");
-    abandon_sync();
+    // False preamble hit; resume the hunt just past the failed sync.
+    log_debug("stream_rx: header undecodable, resyncing");
+    resync_rewind();
     return;
   }
   const auto len8 = static_cast<std::uint8_t>(read_bits(*header_bits, 0, 8));
   const auto hdr_crc =
       static_cast<std::uint8_t>(read_bits(*header_bits, 8, 8));
   if (crc8({&len8, 1}) != hdr_crc) {
-    log_debug("stream_rx: header CRC failed, dropping sync");
-    abandon_sync();
+    log_debug("stream_rx: header CRC failed, resyncing");
+    resync_rewind();
     return;
   }
 
@@ -216,7 +230,15 @@ void StreamingReceiver::try_decode() {
   ++frames_;
   handler_(frame);
 
-  abandon_sync();
+  if (frame.status == Status::kOk) {
+    // Clean decode: everything up to position_ is accounted for; skip
+    // ahead.
+    abandon_sync();
+  } else {
+    // Payload-level failure (e.g. CRC): the collect window may have
+    // swallowed a genuine successor frame — rewind and re-scan it.
+    resync_rewind();
+  }
 }
 
 void StreamingReceiver::abandon_sync() {
@@ -231,6 +253,23 @@ void StreamingReceiver::abandon_sync() {
   search_start_ = position_;
 }
 
+void StreamingReceiver::resync_rewind() {
+  state_ = State::kSearching;
+  // Bounded rewind: resume the hunt one sample past the failed sync
+  // instead of discarding the collected tail. History still holds
+  // everything from sync+1-preamble (trimmed exactly there at peak
+  // confirmation), so this is a cursor move, not a buffer change; the
+  // drain loop re-scans the retained tail. Progress is guaranteed:
+  // every confirmed peak lies at or after detector_base_, so each
+  // successive rewind target is strictly later than the last, and the
+  // re-scanned span per failure is capped by the collect window.
+  position_ = sync_sample_ + 1;
+  correlator_.reset();
+  peaks_.reset();
+  detector_base_ = position_;
+  search_start_ = history_start_;
+}
+
 void StreamingReceiver::reset() {
   state_ = State::kSearching;
   correlator_.reset();
@@ -239,6 +278,7 @@ void StreamingReceiver::reset() {
   head_ = 0;
   corr_.clear();
   position_ = 0;
+  fed_ = 0;
   history_start_ = 0;
   search_start_ = 0;
   detector_base_ = 0;

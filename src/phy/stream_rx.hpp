@@ -5,12 +5,24 @@
 // detector (or as a flowgraph sink — see fg::FrameSinkBlock).
 //
 // Batch receive path: process(span) appends each chunk to a contiguous
-// history buffer once, runs the preamble correlator's batch kernel over
-// whole sub-chunks (no per-sample virtual dispatch, no deque churn), and
-// hands the demodulator a zero-copy span of that same buffer when a
-// frame completes. Because the correlator is chunk-size invariant and
-// all trim decisions are made against absolute stream positions, any
-// chunking of the input produces bit-identical frames.
+// history buffer once, then drains the buffered samples through the
+// state machine with a rewindable scan cursor — the correlator's batch
+// kernel runs over whole sub-spans (no per-sample virtual dispatch, no
+// deque churn), and the demodulator gets a zero-copy span of that same
+// buffer when a frame completes. Because the correlator is chunk-size
+// invariant and all trim decisions are made against absolute stream
+// positions, any chunking of the input produces bit-identical frames.
+//
+// Resync hardening: when a candidate frame fails to decode (header
+// undecodable, header CRC mismatch, payload CRC failure), the scan
+// cursor rewinds to one sample past the failed sync instead of
+// discarding everything collected — a genuine frame whose preamble
+// landed inside the failed candidate's collect window (a false peak
+// just ahead of a real burst, or a truncated frame butted against its
+// successor) is still acquired. The rewind is bounded: history already
+// retains the window, each confirmed peak is strictly later than the
+// previous rewind target, and reprocessing per failure is capped by
+// the collect window length.
 #pragma once
 
 #include <cstdint>
@@ -40,8 +52,10 @@ class StreamingReceiver {
   /// Feeds envelope samples; may invoke the handler zero or more times.
   void process(std::span<const float> samples);
 
-  /// Samples consumed so far (absolute stream position).
-  std::uint64_t samples_processed() const { return position_; }
+  /// Samples consumed so far (absolute stream position). The internal
+  /// scan cursor may sit earlier mid-drain after a decode-failure
+  /// rewind, but it always catches back up before process() returns.
+  std::uint64_t samples_processed() const { return fed_; }
 
   /// Frames attempted (handler invocations).
   std::uint64_t frames_seen() const { return frames_; }
@@ -50,6 +64,11 @@ class StreamingReceiver {
 
  private:
   enum class State { kSearching, kCollecting };
+
+  /// Runs the state machine over the buffered-but-unscanned samples
+  /// until the scan cursor reaches the fed position (re-spanning after
+  /// every step, since a failed decode may rewind the cursor).
+  void drain();
 
   /// Correlates chunk[i..] in one batch and scans for a confirmed peak.
   /// Returns the index one past the last consumed chunk sample.
@@ -60,6 +79,7 @@ class StreamingReceiver {
 
   void try_decode();
   void abandon_sync();
+  void resync_rewind();
 
   // --- contiguous history ------------------------------------------------
   // buf_[head_..] holds samples [history_start_, history_start_ + size).
@@ -74,7 +94,8 @@ class StreamingReceiver {
   dsp::SlidingCorrelator correlator_;
   dsp::PeakDetector peaks_;
   State state_ = State::kSearching;
-  std::uint64_t position_ = 0;
+  std::uint64_t position_ = 0;  // scan cursor; rewinds on decode failure
+  std::uint64_t fed_ = 0;       // total samples ever fed (monotone)
   std::uint64_t frames_ = 0;
 
   std::vector<float> buf_;

@@ -77,9 +77,16 @@ double FleetResolver::margin_db(double delta_env,
 
 LinkVerdict FleetResolver::classify(double delta_env,
                                     double worst_interferer_env_sum) const {
-  const double pessimistic = margin_db(delta_env, worst_interferer_env_sum);
+  return classify(delta_env, delta_env, worst_interferer_env_sum);
+}
+
+LinkVerdict FleetResolver::classify(double delta_env_pess,
+                                    double delta_env_opt,
+                                    double worst_interferer_env_sum) const {
+  const double pessimistic =
+      margin_db(delta_env_pess, worst_interferer_env_sum);
   if (pessimistic >= deliver_margin_db_) return LinkVerdict::kClearDeliver;
-  const double optimistic = margin_db(delta_env, 0.0);
+  const double optimistic = margin_db(delta_env_opt, 0.0);
   if (optimistic <= -fail_margin_db_) return LinkVerdict::kClearFail;
   return LinkVerdict::kContested;
 }

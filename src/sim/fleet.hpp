@@ -126,6 +126,15 @@ class FleetResolver {
   LinkVerdict classify(double delta_env,
                        double worst_interferer_env_sum) const;
 
+  /// Fault-aware variant with a split swing band: the pessimistic arm
+  /// uses the worst-case swing a fault schedule leaves over the frame
+  /// window (`delta_env_pess`, e.g. swing x min carrier/gateway scale),
+  /// the optimistic arm the best case (`delta_env_opt`). With both
+  /// deltas equal this is exactly classify(delta, interf) — the
+  /// fault-free path never pays for the generality.
+  LinkVerdict classify(double delta_env_pess, double delta_env_opt,
+                       double worst_interferer_env_sum) const;
+
   double required_sinr() const { return required_sinr_; }
 
  private:

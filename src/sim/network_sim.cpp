@@ -86,7 +86,15 @@ void NetworkSimConfig::validate() const {
         "NetworkSimConfig: unknown fading \"" + fading +
         "\" (expected \"static\", \"rayleigh\" or \"rician\")");
   }
+  if (failover_streak_frames > 0 &&
+      combining != GatewayCombining::kBestGateway) {
+    throw std::invalid_argument(
+        "NetworkSimConfig: failover_streak_frames requires kBestGateway "
+        "combining (any-gateway delivery has no serving gateway to fail "
+        "over from)");
+  }
   fleet.validate();
+  faults.validate();
 }
 
 void NetworkTagStats::merge(const NetworkTagStats& other) {
@@ -129,6 +137,14 @@ void NetworkSimSummary::add(const NetworkTrialResult& trial) {
     escalation_rate_trials.add(static_cast<double>(trial.frames_escalated) /
                                static_cast<double>(resolved));
   }
+  faulted_frames_attempted += trial.faulted_frames_attempted;
+  faulted_frames_delivered += trial.faulted_frames_delivered;
+  frames_lost_outage += trial.frames_lost_outage;
+  frames_lost_sag += trial.frames_lost_sag;
+  frames_lost_interference += trial.frames_lost_interference;
+  frames_lost_tag_fault += trial.frames_lost_tag_fault;
+  failovers += trial.failovers;
+  time_to_failover_slots.merge(trial.time_to_failover_slots);
 }
 
 void NetworkSimSummary::merge(const NetworkSimSummary& other) {
@@ -156,6 +172,14 @@ void NetworkSimSummary::merge(const NetworkSimSummary& other) {
   frames_culled += other.frames_culled;
   gateway_slots_synthesized += other.gateway_slots_synthesized;
   escalation_rate_trials.merge(other.escalation_rate_trials);
+  faulted_frames_attempted += other.faulted_frames_attempted;
+  faulted_frames_delivered += other.faulted_frames_delivered;
+  frames_lost_outage += other.frames_lost_outage;
+  frames_lost_sag += other.frames_lost_sag;
+  frames_lost_interference += other.frames_lost_interference;
+  frames_lost_tag_fault += other.frames_lost_tag_fault;
+  failovers += other.failovers;
+  time_to_failover_slots.merge(other.time_to_failover_slots);
 }
 
 std::uint64_t NetworkSimSummary::frames_attempted() const {
@@ -237,15 +261,16 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
   // overlap begins; the tag aborts on whichever arrives first (the
   // closest gateway's).
   notify_slots_.reserve(config_.tags.size());
+  notify_pg_.reserve(config_.tags.size() * gateway_device_.size());
   for (std::size_t k = 0; k < config_.tags.size(); ++k) {
     std::size_t best = SIZE_MAX;
     for (const std::size_t gw : gateway_device_) {
       const double dist = channel::distance_m(
           scene_.device(tag_device_[k]).position, scene_.device(gw).position);
-      best = std::min(best,
-                      mac::notify_latency_slots(config_.notify_delay_slots,
-                                                dist,
-                                                config_.notify_slots_per_m));
+      const std::size_t lat = mac::notify_latency_slots(
+          config_.notify_delay_slots, dist, config_.notify_slots_per_m);
+      notify_pg_.push_back(lat);
+      best = std::min(best, lat);
     }
     notify_slots_.push_back(best);
   }
@@ -256,6 +281,15 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
   frame_slots_ = (burst_samples_ + slot_samples_ - 1) / slot_samples_;
   frame_cost_j_ = static_cast<double>(frame_slots_) * slot_seconds() *
                   config_.power.backscattering_w;
+
+  // Fault injector: compiled once against this deployment. Per-trial
+  // plans come from a salted side substream, so fault randomness never
+  // perturbs the main trial draws.
+  injector_ = FaultInjector(config_.faults, config_.seed,
+                            gateway_device_.size(), config_.tags.size(),
+                            config_.slots_per_trial, slot_samples_,
+                            rates.samples_per_chip,
+                            std::sqrt(config_.noise_power_w() / 2.0));
 
   // Fleet engine: margin classifier (only built when a mode uses it —
   // kWaveform without frame recording may carry an unchecked target
@@ -335,6 +369,14 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
   res.gateway_decodes.resize(n_gw);
   res.slots = slots;
 
+  // Fault realisation of this trial (empty when injection is disabled).
+  // The plan draws from a salted side substream, so the main trial
+  // randomness below is untouched by it; every fault code path in this
+  // function is guarded by `has_faults`, keeping fault-free trials
+  // bit-identical to the pre-fault engine.
+  const FaultPlan fplan = injector_.plan(trial_index);
+  const bool has_faults = fplan.any();
+
   // Fidelity policy (sim/fleet.hpp). All modes consume the trial RNG in
   // the identical order — source seed, fade draws, per-gateway noise
   // forks, backoff/payload draws — so the MAC evolution and channel
@@ -400,6 +442,29 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
       }
     }
     serving[k] = best;
+  }
+
+  // Dead-gateway failover (opt-in, kBestGateway): serving_now is the
+  // *current* serving gateway — re-selected when a failure streak hits
+  // the threshold — while serving stays the link-quality choice. The
+  // failover machine draws its jitter from its own side substream in
+  // deterministic (slot, tag) order, so enabling it never disturbs the
+  // main trial draws.
+  const bool failover_on = config_.failover_streak_frames > 0 && n_gw > 1 &&
+                           config_.combining == GatewayCombining::kBestGateway;
+  auto serving_now = arena.alloc<std::size_t>(n_tags);
+  for (std::size_t k = 0; k < n_tags; ++k) serving_now[k] = serving[k];
+  constexpr std::uint64_t kFailoverSalt = 0xfa110feedULL;
+  Rng failover_rng = Rng::substream(config_.seed ^ kFailoverSalt, trial_index);
+  std::vector<std::size_t> fail_streak;
+  std::vector<std::uint64_t> streak_start;
+  std::vector<std::size_t> switch_count;
+  std::vector<std::uint64_t> blacklist_until;
+  if (failover_on) {
+    fail_streak.assign(n_tags, 0);
+    streak_start.assign(n_tags, 0);
+    switch_count.assign(n_tags, 0);
+    blacklist_until.assign(n_tags * n_gw, 0);
   }
 
   // Shared per-link reflection couplings, precomputed once per trial
@@ -566,7 +631,12 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
 
   // Worst-case concurrent interference a frame of tag k saw at gateway
   // g: the max over its on-air slots of the in-range active half-swing
-  // sum, minus the tag's own contribution.
+  // sum, minus the tag's own contribution. Under faults i_sum already
+  // carries the per-slot fault scaling plus attenuated interferer
+  // envelopes; the own-share subtraction then uses the *minimum* window
+  // scale — subtracting the least the tag could have contributed keeps
+  // the residual an over-estimate, which is the safe side for the
+  // one-sided classifier.
   const auto worst_interference = [&](std::size_t k, std::size_t g) {
     const TagRt& tag = rt[k];
     float worst = 0.0f;
@@ -575,10 +645,151 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
          ++s) {
       worst = std::max(worst, row[s]);
     }
-    const double own = in_range_[k * n_gw + g]
-                           ? 0.5 * static_cast<double>(delta[k * n_gw + g])
-                           : 0.0;
+    double own = in_range_[k * n_gw + g]
+                     ? 0.5 * static_cast<double>(delta[k * n_gw + g])
+                     : 0.0;
+    if (has_faults) {
+      own *= fplan.min_signal_scale(g, tag.start_slot,
+                                    tag.start_slot + frame_slots_);
+    }
     return std::max(0.0, static_cast<double>(worst) - own);
+  };
+
+  // Rewrites a frame's zero-padded antenna states for the transmitting
+  // tag's own hardware fault: a stuck switch pins every sample of the
+  // fault-covered slots to the jammed position; oscillator drift shifts
+  // the whole burst by the skew accumulated since fault onset (the
+  // receiver's sync search absorbs the shift until the burst overruns
+  // its decode window). Shared by kWaveform modulation and the lazy
+  // escalation-log modulation so both fidelity paths synthesize the
+  // identical faulted waveform.
+  const auto apply_tag_fault_states = [&](std::uint32_t k,
+                                          std::uint64_t start_slot,
+                                          std::vector<std::uint8_t>& states) {
+    const TagFault* f = fplan.tag_fault(k);
+    if (f == nullptr) return;
+    if (f->stuck) {
+      const std::int64_t lo =
+          std::max<std::int64_t>(f->start_slot,
+                                 static_cast<std::int64_t>(start_slot));
+      const std::int64_t hi = std::min<std::int64_t>(
+          f->end_slot, static_cast<std::int64_t>(start_slot + frame_slots_));
+      if (lo >= hi) return;
+      const std::size_t a =
+          static_cast<std::size_t>(lo - static_cast<std::int64_t>(start_slot)) *
+          slot_samples_;
+      const std::size_t b =
+          static_cast<std::size_t>(hi - static_cast<std::int64_t>(start_slot)) *
+          slot_samples_;
+      std::fill(states.begin() + static_cast<std::ptrdiff_t>(a),
+                states.begin() + static_cast<std::ptrdiff_t>(b),
+                f->stuck_state);
+      return;
+    }
+    const std::size_t shift = fplan.drift_shift_samples(
+        k, static_cast<std::int64_t>(start_slot));
+    if (shift == 0) return;
+    if (shift >= states.size()) {
+      std::fill(states.begin(), states.end(), std::uint8_t{0});
+      return;
+    }
+    states.insert(states.begin(), shift, std::uint8_t{0});
+    states.resize(frame_slots_ * slot_samples_);
+  };
+
+  // In-place fault transform of one synthesized gateway-slot, applied
+  // between the fused slot kernel and the AWGN stage: the carrier sag
+  // scales every ambient-derived component (leakage and backscatter are
+  // both linear in the carrier, so post-scaling the clean sum is exact),
+  // burst-interferer tones arrive over the air, and the gateway
+  // attenuation then scales everything reaching the faulted front end —
+  // receiver noise stays unscaled.
+  const auto apply_slot_faults = [&](std::size_t g, std::size_t slot,
+                                     std::span<cf32> samples) {
+    const float cs = fplan.carrier_scale(slot);
+    if (cs != 1.0f) {
+      for (auto& v : samples) v *= cs;
+    }
+    fplan.add_interferers(g, slot, samples);
+    const float a = fplan.gateway_atten(g, slot);
+    if (a != 1.0f) {
+      for (auto& v : samples) v *= a;
+    }
+  };
+
+  // Resilience attribution of one resolved or aborted frame: exposure
+  // is judged over the frame's on-air window at the gateways the
+  // combining policy listens to. Failed-and-exposed frames tally into
+  // every fault class whose window touched them (exposure, not causal
+  // attribution — see NetworkTrialResult).
+  const auto classify_fault_loss = [&](std::size_t k, bool delivered) {
+    const TagRt& tag = rt[k];
+    const std::size_t lo = tag.start_slot;
+    const std::size_t hi = tag.start_slot + frame_slots_;
+    const bool sag = fplan.window_has_sag(lo, hi);
+    bool outage = false;
+    bool interf = false;
+    for (std::size_t g = 0; g < n_gw; ++g) {
+      const bool relevant = config_.combining == GatewayCombining::kAnyGateway ||
+                            g == serving_now[k];
+      if (!relevant) continue;
+      outage = outage || fplan.window_has_outage(g, lo, hi);
+      interf = interf || fplan.window_has_interference(g, lo, hi);
+    }
+    const TagFault* f = fplan.tag_fault(static_cast<std::uint32_t>(k));
+    const bool tagf = f != nullptr &&
+                      f->start_slot < static_cast<std::int64_t>(hi) &&
+                      f->end_slot > static_cast<std::int64_t>(lo);
+    if (!(sag || outage || interf || tagf)) return;
+    ++res.faulted_frames_attempted;
+    if (delivered) {
+      ++res.faulted_frames_delivered;
+      return;
+    }
+    if (outage) ++res.frames_lost_outage;
+    if (sag) ++res.frames_lost_sag;
+    if (interf) ++res.frames_lost_interference;
+    if (tagf) ++res.frames_lost_tag_fault;
+  };
+
+  // Failover bookkeeping after a frame outcome: a delivery clears the
+  // streak; a failure extends it, and hitting the threshold blacklists
+  // the serving gateway for a jittered capped-exponential holdoff and
+  // re-selects the best non-blacklisted link.
+  const auto note_frame_outcome = [&](std::size_t k, bool delivered,
+                                      std::uint64_t learn_slot) {
+    if (!failover_on) return;
+    TagRt& tag = rt[k];
+    if (delivered) {
+      fail_streak[k] = 0;
+      switch_count[k] = 0;
+      return;
+    }
+    if (fail_streak[k] == 0) streak_start[k] = tag.start_slot;
+    if (++fail_streak[k] < config_.failover_streak_frames) return;
+    const std::size_t old_g = serving_now[k];
+    const std::size_t holdoff = mac::failover_holdoff_slots(
+        failover_rng, config_.failover_holdoff_slots, switch_count[k],
+        config_.failover_max_exponent);
+    blacklist_until[k * n_gw + old_g] = learn_slot + 1 + holdoff;
+    std::size_t best = old_g;
+    float best_mag = -1.0f;
+    for (std::size_t g = 0; g < n_gw; ++g) {
+      if (blacklist_until[k * n_gw + g] > learn_slot) continue;
+      const float mag = std::abs(h_tr[k * n_gw + g]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = g;
+      }
+    }
+    if (best != old_g) {
+      serving_now[k] = best;
+      ++res.failovers;
+      res.time_to_failover_slots.add(
+          static_cast<double>(learn_slot - streak_start[k] + 1));
+      ++switch_count[k];
+    }
+    fail_streak[k] = 0;
   };
 
   // Escalated resolution of one contested frame (kHybrid): re-run the
@@ -639,6 +850,9 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
             // Zero-pad to whole slots: state 0 is absorb, which is
             // exactly the "frame ended mid-slot" semantics.
             fl.states.resize(frame_slots_ * slot_samples_, 0);
+            if (has_faults) {
+              apply_tag_fault_states(fl.tag, fl.start_slot, fl.states);
+            }
           }
           mask_ptrs[n_ent] =
               fl.states.data() +
@@ -653,6 +867,7 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
             std::span<const cf32>(slot_on.data(), n_ent),
             std::span<const cf32>(slot_off.data(), n_ent), coeff_scratch,
             out);
+        if (has_faults) apply_slot_faults(g, s, out);
         noise[g].process(out, out);
       }
       dsp::EnvelopeDetector env = synth_.make_envelope();
@@ -666,9 +881,9 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
       if (decoded) {
         ++res.gateway_decodes[g];
         any_decoded = true;
-        if (g == serving[k]) serving_decoded = true;
+        if (g == serving_now[k]) serving_decoded = true;
         if (config_.combining == GatewayCombining::kAnyGateway ||
-            g == serving[k]) {
+            g == serving_now[k]) {
           break;
         }
       }
@@ -691,16 +906,34 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     LinkVerdict combined = LinkVerdict::kContested;
     double best_margin = -std::numeric_limits<double>::infinity();
 
+    // The transmitting tag's own hardware fault this frame, if any:
+    // stuck frames and drift-shifted frames force kContested in every
+    // classifying mode (only synthesis — which rewrites the faulted
+    // states — can judge a corrupted burst; forcing the band keeps the
+    // clear-verdict agreement contract intact under faults).
+    bool own_stuck = false;
+    std::size_t own_shift = 0;
+    if (has_faults) {
+      own_stuck = fplan.stuck_in_window(
+          static_cast<std::uint32_t>(k),
+          static_cast<std::int64_t>(tag.start_slot),
+          static_cast<std::int64_t>(tag.start_slot + frame_slots_));
+      own_shift = fplan.drift_shift_samples(
+          static_cast<std::uint32_t>(k),
+          static_cast<std::int64_t>(tag.start_slot));
+    }
+    const bool own_fault = own_stuck || own_shift > 0;
+
     if (analytic_on) {
       // Per-gateway one-sided-safe verdicts over the gateway set the
       // combining policy listens to (kBestGateway: serving only).
       bool any_deliver = false;
       bool any_contested = false;
-      std::size_t best_g = serving[k];
+      std::size_t best_g = serving_now[k];
       for (std::size_t g = 0; g < n_gw; ++g) {
         const bool relevant =
             config_.combining == GatewayCombining::kAnyGateway ||
-            g == serving[k];
+            g == serving_now[k];
         if (!relevant) {
           gw_verdict[g] = LinkVerdict::kClearFail;
           gw_margin[g] = -std::numeric_limits<double>::infinity();
@@ -708,8 +941,25 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         }
         const double d = delta[k * n_gw + g];
         const double interf = worst_interference(k, g);
-        gw_verdict[g] = resolver_.classify(d, interf);
-        const double margin = resolver_.margin_db(d, interf);
+        double margin;
+        if (has_faults) {
+          // The fault schedule scales the frame's envelope swing slot
+          // by slot; the split-band classifier charges the pessimistic
+          // arm the window minimum and grants the optimistic arm the
+          // window maximum — the same one-sided-safe bracketing the
+          // margin band already provides for interference.
+          const double scale_min = fplan.min_signal_scale(
+              g, tag.start_slot, tag.start_slot + frame_slots_);
+          const double scale_max = fplan.max_signal_scale(
+              g, tag.start_slot, tag.start_slot + frame_slots_);
+          gw_verdict[g] = resolver_.classify(d * scale_min, d * scale_max,
+                                             interf);
+          margin = resolver_.margin_db(d * scale_min, interf);
+          if (own_fault) gw_verdict[g] = LinkVerdict::kContested;
+        } else {
+          gw_verdict[g] = resolver_.classify(d, interf);
+          margin = resolver_.margin_db(d, interf);
+        }
         gw_margin[g] = margin;
         if (margin > best_margin) {
           best_margin = margin;
@@ -738,8 +988,17 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
             if (hybrid) {
               delivered = escalate_frame(k);
               escalated = true;
+            } else if (own_stuck) {
+              // Pure analytic mode, jammed switch: no modulation ever
+              // reached the air during the fault window — fail.
+              delivered = false;
+            } else if (own_shift > 0) {
+              // Drifted burst: delivered iff the margin holds AND the
+              // accumulated skew still fits the decode window's tail.
+              delivered = best_margin >= 0.0 && own_shift <= tail_samples;
+              if (delivered) ++res.gateway_decodes[best_g];
             } else {
-              // Pure analytic mode: point estimate at the band centre.
+              // Point estimate at the band centre.
               delivered = best_margin >= 0.0;
               if (delivered) ++res.gateway_decodes[best_g];
             }
@@ -772,7 +1031,7 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         if (decoded) {
           ++res.gateway_decodes[g];
           any_decoded = true;
-          if (g == serving[k]) serving_decoded = true;
+          if (g == serving_now[k]) serving_decoded = true;
         }
       }
       delivered = config_.combining == GatewayCombining::kAnyGateway
@@ -785,6 +1044,8 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
                             tag.overlapped, combined, best_margin, delivered,
                             escalated});
     }
+    if (has_faults) classify_fault_loss(k, delivered);
+    if (update_mac) note_frame_outcome(k, delivered, learn_slot);
     if (delivered) {
       ++res.tags[k].frames_delivered;
       res.tags[k].payload_bits_delivered += config_.payload_bytes * 8;
@@ -840,6 +1101,10 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
           // Zero-pad to whole slots (0 = absorb): every slot of the
           // frame is then a plain pointer view for the slot kernel.
           tag.states.resize(frame_slots_ * slot_samples_, 0);
+          if (has_faults) {
+            apply_tag_fault_states(static_cast<std::uint32_t>(k), slot,
+                                   tag.states);
+          }
         } else if (hybrid) {
           tag.frame_id = static_cast<std::uint32_t>(frame_log.size());
           frame_log.push_back({static_cast<std::uint32_t>(k), slot,
@@ -895,17 +1160,28 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
             std::span<const cf32>(slot_on.data(), active.size()),
             std::span<const cf32>(slot_off.data(), active.size()),
             coeff_scratch, gw_slot);
+        if (has_faults) apply_slot_faults(g, slot, gw_slot);
         noise[g].process(gw_slot, gw_slot);
         envelopes[g].process(
             gw_slot, env_buf.subspan(g * total + base, slot_samples_));
       }
       res.gateway_slots_synthesized += n_gw;
     }
-    if (analytic_on && !active.empty()) {
+    if (analytic_on && (!active.empty() || has_faults)) {
+      // Under faults the interference sum mirrors the synthesis
+      // transform exactly: active tags' half-swings scale with the
+      // carrier sag and the gateway attenuation, and burst-interferer
+      // envelopes arrive over the air (so they too pass the gateway's
+      // attenuation) — written every slot, since an interferer raises
+      // the sum even with no tag on air.
       for (std::size_t g = 0; g < n_gw; ++g) {
         float sum = 0.0f;
         for (const std::size_t k : active) {
           if (in_range_[k * n_gw + g]) sum += 0.5f * delta[k * n_gw + g];
+        }
+        if (has_faults) {
+          sum = sum * fplan.signal_scale(g, slot) +
+                fplan.interferer_env(g, slot) * fplan.gateway_atten(g, slot);
         }
         i_sum[g * slots + slot] = sum;
       }
@@ -962,14 +1238,35 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
           ++res.tags[k].frames_collided;
           ++res.collisions;
         }
+        if (has_faults) classify_fault_loss(k, /*delivered=*/false);
         tag.st = TagRt::St::kBackoff;
         redraw_backoff(tag);
         continue;
       }
-      if (fd && tag.overlapped &&
-          slot - tag.overlap_start + 1 >= notify_slots_[k]) {
+      bool notified = false;
+      if (fd && tag.overlapped) {
+        if (!has_faults) {
+          notified = slot - tag.overlap_start + 1 >= notify_slots_[k];
+        } else {
+          // A gateway can only notify if it was alive to *detect* the
+          // overlap: an outage at the detection moment silences it, and
+          // the tag keeps burning the collided frame until a healthy
+          // gateway's (possibly slower) notification arrives — or the
+          // frame runs its full length. This is the failure mode the
+          // dead-gateway failover machine responds to.
+          for (std::size_t g = 0; g < n_gw; ++g) {
+            if (slot - tag.overlap_start + 1 < notify_pg_[k * n_gw + g]) {
+              continue;
+            }
+            if (!fplan.gateway_alive(g, tag.overlap_start)) continue;
+            notified = true;
+            break;
+          }
+        }
+      }
+      if (notified) {
         // The earliest gateway's collision notification arrived
-        // (notify_slots_[k] block-times after the overlap began, not
+        // (notify latency block-times after the overlap began, not
         // after the frame started — mid-frame collision victims wait
         // the full notification latency too): abort now.
         ++res.tags[k].frames_aborted;
@@ -977,6 +1274,7 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         ++res.collisions;
         res.detect_latency_slots.add(
             static_cast<double>(slot - tag.overlap_start + 1));
+        if (has_faults) classify_fault_loss(k, /*delivered=*/false);
         ++tag.exponent;
         tag.st = TagRt::St::kBackoff;
         redraw_backoff(tag);

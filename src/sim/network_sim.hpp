@@ -61,6 +61,7 @@
 #include "energy/ledger.hpp"
 #include "energy/storage.hpp"
 #include "mac/collision.hpp"
+#include "sim/faults.hpp"
 #include "sim/fleet.hpp"
 #include "sim/synthesis.hpp"
 #include "util/rng.hpp"
@@ -133,6 +134,21 @@ struct NetworkSimConfig {
   // spatial culling (sim/fleet.hpp). The default — kWaveform, no
   // culling — reproduces the historical simulator bit-for-bit.
   FleetConfig fleet{};
+
+  // Fault injection (sim/faults.hpp): gateway outages, carrier sags,
+  // burst interferers, tag hardware faults — deterministic per trial
+  // from a salted side substream. The default (disabled) keeps every
+  // trial bit-identical to the fault-free engine.
+  FaultConfig faults{};
+
+  // Dead-gateway failover (kBestGateway only): after this many
+  // consecutive failed frames the tag blacklists its serving gateway
+  // for a jittered, capped-exponential holdoff
+  // (mac::failover_holdoff_slots) and re-selects the best remaining
+  // link. 0 (the default) disables failover entirely.
+  std::size_t failover_streak_frames = 0;
+  std::size_t failover_holdoff_slots = 64;  ///< blacklist holdoff base
+  std::size_t failover_max_exponent = 4;    ///< holdoff growth cap
 
   std::uint64_t seed = 1;
 
@@ -210,6 +226,25 @@ struct NetworkTrialResult {
   /// n_gateways per slot in kWaveform, only escalated windows in
   /// kHybrid — the cost model behind the slots/s speedup.
   std::uint64_t gateway_slots_synthesized = 0;
+
+  // Resilience accounting (all zero without fault injection). A frame
+  // is "faulted" when its on-air window was exposed to any fault at a
+  // relevant gateway (serving under kBestGateway, any otherwise); the
+  // per-class loss counters tally failed frames by which fault classes
+  // their window was exposed to — exposure, not causal attribution, so
+  // a frame lost under both an outage and a sag counts in both.
+  std::uint64_t faulted_frames_attempted = 0;
+  std::uint64_t faulted_frames_delivered = 0;
+  std::uint64_t frames_lost_outage = 0;
+  std::uint64_t frames_lost_sag = 0;
+  std::uint64_t frames_lost_interference = 0;
+  std::uint64_t frames_lost_tag_fault = 0;
+  /// Successful serving-gateway switches of the failover machine.
+  std::uint64_t failovers = 0;
+  /// Slots from the first frame start of a failure streak to the slot
+  /// the tag switched gateways.
+  RunningStats time_to_failover_slots;
+
   /// Per-frame log; filled only when FleetConfig::record_frames.
   std::vector<FrameRecord> frames;
 };
@@ -237,6 +272,16 @@ struct NetworkSimSummary {
   /// one sample per trial that resolved at least one frame — the
   /// escalation-rate distribution of a hybrid run.
   RunningStats escalation_rate_trials;
+
+  // Resilience aggregate (see NetworkTrialResult for semantics).
+  std::uint64_t faulted_frames_attempted = 0;
+  std::uint64_t faulted_frames_delivered = 0;
+  std::uint64_t frames_lost_outage = 0;
+  std::uint64_t frames_lost_sag = 0;
+  std::uint64_t frames_lost_interference = 0;
+  std::uint64_t frames_lost_tag_fault = 0;
+  std::uint64_t failovers = 0;
+  RunningStats time_to_failover_slots;
 
   void add(const NetworkTrialResult& trial);
   void merge(const NetworkSimSummary& other);
@@ -275,6 +320,20 @@ struct NetworkSimSummary {
                           static_cast<double>(resolved)
                     : 0.0;
   }
+  /// Delivery ratio of fault-exposed frames (the headline graceful-
+  /// degradation metric of e14; 0 when no frame saw a fault).
+  double outage_delivery_ratio() const {
+    return faulted_frames_attempted
+               ? static_cast<double>(faulted_frames_delivered) /
+                     static_cast<double>(faulted_frames_attempted)
+               : 0.0;
+  }
+  /// Mean slots from a failure streak's first frame to the gateway
+  /// switch (0 when failover never fired).
+  double mean_time_to_failover_slots() const {
+    return time_to_failover_slots.mean();
+  }
+
   /// Synthesized gateway-slots / total gateway-slots — the fraction of
   /// the waveform cost a run actually paid (1.0 in kWaveform).
   double synthesized_slot_fraction() const {
@@ -338,6 +397,14 @@ class NetworkSimulator {
   std::size_t notify_latency_slots(std::size_t k) const {
     return notify_slots_.at(k);
   }
+  /// Slots from overlap start until gateway g's notification reaches
+  /// tag k (the per-gateway latencies behind the minimum above; the
+  /// fault engine consults them when an outage silences a gateway).
+  std::size_t notify_latency_slots(std::size_t k, std::size_t g) const {
+    return notify_pg_.at(k * gateway_device_.size() + g);
+  }
+  /// The fault injector compiled from NetworkSimConfig::faults.
+  const FaultInjector& fault_injector() const { return injector_; }
   /// Whether tag k is inside FleetConfig::cull_radius_m of gateway g
   /// (always true with the default infinite radius).
   bool tag_in_range(std::size_t k, std::size_t g) const {
@@ -360,6 +427,8 @@ class NetworkSimulator {
   energy::Harvester harvester_;
   WaveformSynthesizer synth_;
   std::vector<std::size_t> notify_slots_;  ///< per-tag earliest notify
+  std::vector<std::size_t> notify_pg_;     ///< [tag * n_gw + gw] latency
+  FaultInjector injector_;
   std::size_t slot_samples_ = 0;
   std::size_t burst_samples_ = 0;
   std::size_t frame_slots_ = 0;

@@ -169,6 +169,58 @@ TEST(CrossFidelity, ClearVerdictsMatchSynthesisFrameForFrame) {
             << 100.0 * contested_fraction << "%)\n";
 }
 
+TEST(CrossFidelity, ClearVerdictsSurviveFaultInjection) {
+  // The fault engine feeds the same slot-domain schedule to synthesis
+  // and to the analytic mirror; the split-band classifier brackets the
+  // faulted frame with the window-worst and window-best signal scales,
+  // and frames whose own tag is faulted are forced into the contested
+  // band. Net contract: one-sided safety of clear verdicts holds under
+  // fault injection exactly as it does clean.
+  constexpr std::uint64_t kConfigs = 30;
+  constexpr std::size_t kTrials = 2;
+  std::uint64_t total = 0, contested = 0, clear_deliver = 0, clear_fail = 0;
+  std::uint64_t faulted_frames = 0;
+  for (std::uint64_t i = 0; i < kConfigs; ++i) {
+    auto config = random_config(i);
+    Rng rng = Rng::substream(0xfa17a2b5, i);
+    config.faults.intensity = rng.uniform(0.2, 1.0);
+    const NetworkSimulator sim(config);
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      const auto trial = sim.run_trial(t);
+      faulted_frames += trial.faulted_frames_attempted;
+      for (const FrameRecord& frame : trial.frames) {
+        ++total;
+        std::ostringstream where;
+        where << "config=" << i << " trial=" << t << " tag=" << frame.tag
+              << " slot=" << frame.start_slot
+              << " margin=" << frame.margin_db << " dB (faulted run)";
+        switch (frame.analytic) {
+          case LinkVerdict::kClearDeliver:
+            ++clear_deliver;
+            EXPECT_TRUE(frame.delivered) << where.str();
+            break;
+          case LinkVerdict::kClearFail:
+            ++clear_fail;
+            EXPECT_FALSE(frame.delivered) << where.str();
+            break;
+          case LinkVerdict::kContested:
+            ++contested;
+            break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 60u) << "faulted sweep produced too few resolved frames";
+  ASSERT_GT(faulted_frames, 0u) << "sweep never exposed a frame to a fault";
+  EXPECT_GT(clear_deliver, 0u);
+  EXPECT_GT(clear_fail, 0u);
+  EXPECT_LT(contested, total);
+  std::cout << "[cross-fidelity/faults] " << total << " frames: "
+            << clear_deliver << " clear-deliver, " << clear_fail
+            << " clear-fail, " << contested << " contested, "
+            << faulted_frames << " fault-exposed\n";
+}
+
 // -------------------------------------------------------------------
 // Frame recording must be a pure observer.
 // -------------------------------------------------------------------
