@@ -1,0 +1,159 @@
+// E15 — Scheduled slotframes & multi-hop relaying. The scheduled MAC
+// (mac/schedule.hpp) replaces contention with a TSCH-style slotframe:
+// dedicated per-tag cells transmit without collisions and hash-keyed
+// shared cells absorb retries. This experiment makes the case for it
+// in three steps: (1) an ablation on the contention-dominated
+// dense-deployment scenario — timeout vs collision-notify vs scheduled
+// on identical channels — where the slotframe should all but eliminate
+// wasted airtime; (2) the corridor-multihop mesh scenario, where tags
+// beyond the cull radius deliver 0 frames until the relay fabric is
+// switched on and they reach the gateway in 2-3 scheduled hops; and
+// (3) the warehouse-mesh scenario, plus a scripted full-trial outage
+// of the primary gateway showing the ETX parent-selection machinery
+// re-routing through the fabric (measured by the same failover /
+// time-to-failover statistics the gateway failover machine feeds).
+//
+// Every section is deterministic — bit-identical at any --jobs — and
+// CI gates on the headline claim: the scheduled MAC's wasted-slot
+// ratio in the dense deployment must undercut both contention MACs.
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mac/collision.hpp"
+#include "sim/faults.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenarios.hpp"
+
+namespace {
+
+using fdb::sim::FaultClass;
+using fdb::sim::NetworkSimConfig;
+using fdb::sim::NetworkSimSummary;
+using fdb::sim::NetworkSimulator;
+
+NetworkSimSummary run(const fdb::sim::ExperimentRunner& runner,
+                      const NetworkSimConfig& config, std::size_t trials) {
+  const NetworkSimulator sim(config);
+  return runner.run_chunked<NetworkSimSummary>(
+      trials, [&sim](NetworkSimSummary& acc, std::size_t trial) {
+        acc.add(sim.run_trial(trial));
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = fdb::sim::parse_cli(argc, argv, /*default_trials=*/4,
+                                       "network trials per arm");
+  const fdb::sim::ExperimentRunner runner(cli.jobs);
+
+  fdb::sim::Report report("e15_schedule");
+  report.set_run_info(cli.trials, runner.jobs());
+
+  // --- schedule vs contention ----------------------------------------
+  // dense-deployment is the contention-dominated regime (a tight tag
+  // ring around the receiver); the scenario accepts any MacKind, so
+  // the three policies run on identical deployments, channels and
+  // payload draws. Wasted airtime is the headline column: contention
+  // burns slots in collisions and backoff-resolved losses, the
+  // slotframe assigns each tag its own cells.
+  const std::pair<fdb::mac::MacKind, const char*> macs[] = {
+      {fdb::mac::MacKind::kTimeout, "timeout"},
+      {fdb::mac::MacKind::kCollisionNotify, "notify"},
+      {fdb::mac::MacKind::kScheduled, "scheduled"}};
+  auto& ablation = report.section(
+      "schedule vs contention: dense-deployment ablation (deterministic)",
+      {"num_tags", "mac", "attempted", "delivered", "delivery_ratio",
+       "collisions", "wasted_airtime_fraction", "goodput_slots_fraction"});
+  for (const std::size_t num_tags : {std::size_t{8}, std::size_t{16}}) {
+    for (const auto& [mac, mac_name] : macs) {
+      auto config =
+          fdb::sim::make_scenario("dense-deployment", num_tags).config;
+      config.mac_kind = mac;
+      const auto s = run(runner, config, cli.trials);
+      ablation.add_row({num_tags, mac_name, s.frames_attempted(),
+                        s.frames_delivered(), s.delivery_ratio(),
+                        s.collisions, s.wasted_airtime_fraction(),
+                        s.goodput_slots_fraction()});
+    }
+  }
+
+  // --- multi-hop relaying: corridor ----------------------------------
+  // corridor-multihop strings tags down a 50 m line with the only
+  // gateway at the end; the far tags sit beyond the 30 m cull radius.
+  // With the relay fabric off they attempt frames into the void; with
+  // it on, the same frames ride 2-3 scheduled hops to the gateway.
+  auto& corridor = report.section(
+      "corridor-multihop: out-of-range delivery through the relay "
+      "fabric (deterministic)",
+      {"relay", "culled_tags", "culled_attempted", "culled_delivered",
+       "relayed_delivered", "relay_tx_frames", "relay_drops",
+       "mean_relay_hops", "max_relay_hops"});
+  for (const bool relay_on : {false, true}) {
+    auto config = fdb::sim::make_scenario("corridor-multihop").config;
+    config.relay.enabled = relay_on;
+    const NetworkSimulator sim(config);
+    const auto s = runner.run_chunked<NetworkSimSummary>(
+        cli.trials, [&sim](NetworkSimSummary& acc, std::size_t trial) {
+          acc.add(sim.run_trial(trial));
+        });
+    std::uint64_t culled_tags = 0, culled_attempted = 0, culled_delivered = 0;
+    for (std::size_t k = 0; k < s.tags.size(); ++k) {
+      if (!sim.tag_culled(k)) continue;
+      ++culled_tags;
+      culled_attempted += s.tags[k].frames_attempted;
+      culled_delivered += s.tags[k].frames_delivered;
+    }
+    corridor.add_row({relay_on ? "on" : "off", culled_tags, culled_attempted,
+                      culled_delivered, s.relayed_delivered, s.relay_tx_frames,
+                      s.relay_drops, s.relay_hops.mean(),
+                      s.relay_hops.count() ? s.relay_hops.max() : 0.0});
+  }
+
+  // --- multi-hop relaying: warehouse mesh + gateway outage -----------
+  // warehouse-mesh drains the dead right half of a 100x24 m hall
+  // through the fabric. The outage arm scripts both gateways dead for
+  // the first half of each trial (one alone is masked by any-gateway
+  // macro-diversity): every forward dies at the final hop during the
+  // window, the implicit end-to-end NACKs degrade each child's
+  // current-link ETX, and the streak machinery re-parents — nonzero
+  // failovers with a measured time-to-failover — before delivery
+  // recovers in the second half.
+  auto& mesh = report.section(
+      "warehouse-mesh: fabric drain and ETX re-parenting under a "
+      "scripted gateway outage (deterministic)",
+      {"arm", "attempted", "delivered", "delivery_ratio",
+       "relayed_delivered", "mean_relay_hops", "failovers",
+       "mean_time_to_failover_slots"});
+  for (const bool outage : {false, true}) {
+    auto config = fdb::sim::make_scenario("warehouse-mesh", 24).config;
+    if (outage) {
+      const auto half = static_cast<std::int64_t>(config.slots_per_trial / 2);
+      config.faults.events.push_back(
+          {FaultClass::kGatewayOutage, 0, half, 0, 0.0});
+      config.faults.events.push_back(
+          {FaultClass::kGatewayOutage, 0, half, 1, 0.0});
+    }
+    const auto s = run(runner, config, cli.trials);
+    mesh.add_row({outage ? "gw-outage" : "baseline", s.frames_attempted(),
+                  s.frames_delivered(), s.delivery_ratio(),
+                  s.relayed_delivered, s.relay_hops.mean(), s.failovers,
+                  s.mean_time_to_failover_slots()});
+  }
+
+  report.add_note(
+      "The ablation reuses the dense-deployment scenario verbatim and "
+      "only swaps mac_kind, so all three MACs see identical geometry, "
+      "channels and payload draws; wasted_airtime_fraction is "
+      "wasted_slots / total slots.");
+  report.add_note(
+      "Relay hop counts include the final relay-to-gateway hop, so a "
+      "frame that transited one relay reports 2 hops. The final hop is "
+      "decoded conservatively: a clear-deliver verdict on a forwarded "
+      "frame is demoted to contested before combining.");
+  return report.emit(cli) ? 0 : 1;
+}

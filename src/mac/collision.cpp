@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace fdb::mac {
 namespace {
@@ -54,6 +55,11 @@ std::size_t failover_holdoff_slots(Rng& rng, std::size_t base_slots,
 
 CollisionStats run_collision_sim(MacKind kind,
                                  const CollisionSimParams& params) {
+  if (kind == MacKind::kScheduled) {
+    throw std::invalid_argument(
+        "run_collision_sim models contention MACs only; the scheduled "
+        "slotframe lives in the network engine (mac/schedule.hpp)");
+  }
   assert(params.num_tags >= 1);
   Rng rng(params.seed);
   std::vector<Tag> tags(params.num_tags);

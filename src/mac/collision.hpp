@@ -69,7 +69,11 @@ struct CollisionStats {
   }
 };
 
-enum class MacKind { kTimeout, kCollisionNotify };
+/// MAC families understood across the stack. The abstract contention
+/// model below simulates the first two; kScheduled (TSCH-style
+/// slotframes, mac/schedule.hpp) exists only as a network-engine policy
+/// and is rejected by run_collision_sim.
+enum class MacKind { kTimeout, kCollisionNotify, kScheduled };
 
 /// Binary-exponential-backoff window size: `min_slots << min(exponent,
 /// max_exponent)`, saturating instead of shifting past the word width and

@@ -1,0 +1,69 @@
+#include "mac/policy.hpp"
+
+#include <stdexcept>
+
+#include "mac/schedule.hpp"
+
+namespace fdb::mac {
+
+std::size_t ContentionMacBase::initial_wait(std::size_t /*tag*/,
+                                            TagMacState& /*state*/,
+                                            Rng& rng) const {
+  // Exponent 0 regardless of carried state: a trial always opens with a
+  // fresh minimum-window draw, exactly as the pre-extraction loop did.
+  return draw_backoff(rng, params_.backoff_min_slots, 0,
+                      params_.backoff_max_exponent);
+}
+
+std::size_t ContentionMacBase::next_wait(std::size_t /*tag*/,
+                                         std::uint64_t /*slot*/,
+                                         TagMacState& state, Rng& rng) const {
+  return draw_backoff(rng, params_.backoff_min_slots, state.exponent,
+                      params_.backoff_max_exponent);
+}
+
+void ContentionMacBase::on_outcome(std::size_t /*tag*/, bool delivered,
+                                   TagMacState& state) const {
+  if (delivered) {
+    state.exponent = 0;
+  } else {
+    ++state.exponent;
+  }
+}
+
+void ContentionMacBase::on_notify_abort(std::size_t /*tag*/,
+                                        TagMacState& state) const {
+  ++state.exponent;
+}
+
+std::size_t TimeoutMac::verdict_wait_slots() const {
+  return params_.timeout_slots > 0 ? params_.timeout_slots : 1;
+}
+
+std::unique_ptr<MacPolicy> make_mac_policy(MacKind kind,
+                                           const MacPolicyParams& params) {
+  switch (kind) {
+    case MacKind::kTimeout:
+      return std::make_unique<TimeoutMac>(params.contention);
+    case MacKind::kCollisionNotify:
+      return std::make_unique<CollisionNotifyMac>(params.contention);
+    case MacKind::kScheduled: {
+      if (params.num_tags == 0) {
+        throw std::invalid_argument(
+            "scheduled MAC requires at least one tag");
+      }
+      if (params.frame_slots == 0) {
+        throw std::invalid_argument(
+            "scheduled MAC requires a nonzero frame span");
+      }
+      const std::size_t dedicated = params.dedicated_cells > 0
+                                        ? params.dedicated_cells
+                                        : params.num_tags;
+      return std::make_unique<ScheduledMac>(
+          Slotframe(params.frame_slots, dedicated, params.shared_cells));
+    }
+  }
+  throw std::invalid_argument("unknown MAC kind");
+}
+
+}  // namespace fdb::mac

@@ -1,0 +1,161 @@
+// MAC policy layer: the per-slot medium-access decisions of the
+// network-scale simulator (sim/network_sim.hpp), pulled out of its slot
+// loop into an interface. The simulator owns slot time, frame
+// synthesis, verdicts and energy; a MacPolicy decides *when a tag may
+// put a frame on air* and how it reacts to outcomes:
+//
+//  * TimeoutMac          — contention + BEB; collisions are only
+//    discovered when the expected ACK never arrives, so a collided
+//    frame burns its whole airtime plus the timeout window.
+//  * CollisionNotifyMac  — contention + BEB; the full-duplex receiver
+//    asserts a collision code on the feedback stream and the colliding
+//    tags abort within the per-gateway notification latency.
+//  * ScheduledMac        — TSCH-style slotframe (mac/schedule.hpp):
+//    dedicated per-tag cells transmit without contention, hash-keyed
+//    shared cells absorb retries; no backoff randomness at all.
+//
+// The contract is draw-exact: a policy makes the identical Rng draws,
+// in the identical order, that the pre-extraction slot loop made — the
+// hexfloat synthesis goldens and the e11/e12/e14 determinism gates pin
+// the contention policies bit-for-bit against the inlined originals.
+//
+// Counter conventions (the slot loop ticks `counter == 0 ||
+// --counter == 0` each slot, then starts a frame when it fires):
+//   initial_wait  -> a counter of n fires in slot n-1,
+//   next_wait     -> a counter of n drawn while processing slot s fires
+//                    in slot s+n.
+// Contention policies draw from [1, beb_window] so either convention is
+// just "the historical draw"; the scheduled policy computes exact
+// distances to its next owned cell under these conventions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "mac/collision.hpp"
+#include "util/rng.hpp"
+
+namespace fdb::mac {
+
+/// Per-tag MAC runtime state a policy evolves across one trial. Owned
+/// by the simulator (one per tag per trial), mutated only through
+/// policy hooks, so policies themselves stay immutable and shareable
+/// across concurrently running trials.
+struct TagMacState {
+  /// Consecutive-failure class: the BEB exponent of the contention
+  /// policies, the dedicated-vs-shared retry selector of the scheduled
+  /// one. 0 after every delivered frame.
+  std::size_t exponent = 0;
+};
+
+/// Knobs of the contention (timeout / collision-notify) policies;
+/// mirrors the historical NetworkSimConfig fields.
+struct ContentionParams {
+  std::size_t timeout_slots = 8;         ///< ACK wait of TimeoutMac
+  std::size_t backoff_min_slots = 4;     ///< initial BEB window
+  std::size_t backoff_max_exponent = 6;  ///< BEB growth cap
+};
+
+/// The per-slot MAC decision surface of the network simulator. All
+/// hooks are const: a policy is immutable after construction and safe
+/// to share across threads; everything trial-varying lives in the
+/// caller's TagMacState / Rng.
+class MacPolicy {
+ public:
+  virtual ~MacPolicy() = default;
+
+  /// Stable lowercase name for reports ("timeout", "notify",
+  /// "scheduled").
+  virtual const char* name() const = 0;
+  virtual MacKind kind() const = 0;
+
+  /// Whether collided frames abort when a gateway's collision
+  /// notification arrives. The slot loop consults the per-tag
+  /// notification latencies only when set.
+  virtual bool aborts_on_notify() const = 0;
+
+  /// Slots a tag idles in WaitVerdict once its frame leaves the air:
+  /// one verdict-drain slot for the full-duplex policies, the ACK
+  /// timeout for TimeoutMac. Always >= 1.
+  virtual std::size_t verdict_wait_slots() const = 0;
+
+  /// Trial-start wait of tag `tag` (counter n fires in slot n-1).
+  virtual std::size_t initial_wait(std::size_t tag, TagMacState& state,
+                                   Rng& rng) const = 0;
+
+  /// Wait to the tag's next transmit opportunity, drawn while the slot
+  /// loop processes `slot` — after a frame outcome, a notify abort, a
+  /// mid-frame brownout, or an energy-gated start (counter n fires in
+  /// slot `slot` + n).
+  virtual std::size_t next_wait(std::size_t tag, std::uint64_t slot,
+                                TagMacState& state, Rng& rng) const = 0;
+
+  /// Frame-outcome bookkeeping: delivered clears the failure class,
+  /// a loss escalates it.
+  virtual void on_outcome(std::size_t tag, bool delivered,
+                          TagMacState& state) const = 0;
+
+  /// Collision-notification abort bookkeeping (only reachable when
+  /// aborts_on_notify()).
+  virtual void on_notify_abort(std::size_t tag, TagMacState& state) const = 0;
+};
+
+/// Shared BEB core of the two contention policies: both draw
+/// mac::draw_backoff at the tag's current exponent and differ only in
+/// how outcomes are learned (timeout vs notification).
+class ContentionMacBase : public MacPolicy {
+ public:
+  explicit ContentionMacBase(const ContentionParams& params)
+      : params_(params) {}
+
+  std::size_t initial_wait(std::size_t tag, TagMacState& state,
+                           Rng& rng) const override;
+  std::size_t next_wait(std::size_t tag, std::uint64_t slot,
+                        TagMacState& state, Rng& rng) const override;
+  void on_outcome(std::size_t tag, bool delivered,
+                  TagMacState& state) const override;
+  void on_notify_abort(std::size_t tag, TagMacState& state) const override;
+
+ protected:
+  ContentionParams params_;
+};
+
+/// Conventional contention MAC: learns about losses from a missing ACK.
+class TimeoutMac final : public ContentionMacBase {
+ public:
+  using ContentionMacBase::ContentionMacBase;
+  const char* name() const override { return "timeout"; }
+  MacKind kind() const override { return MacKind::kTimeout; }
+  bool aborts_on_notify() const override { return false; }
+  std::size_t verdict_wait_slots() const override;
+};
+
+/// Full-duplex contention MAC: the receiver's collision notification
+/// aborts collided frames within the notification latency.
+class CollisionNotifyMac final : public ContentionMacBase {
+ public:
+  using ContentionMacBase::ContentionMacBase;
+  const char* name() const override { return "notify"; }
+  MacKind kind() const override { return MacKind::kCollisionNotify; }
+  bool aborts_on_notify() const override { return true; }
+  std::size_t verdict_wait_slots() const override { return 1; }
+};
+
+/// Everything the factory needs to build any policy kind. The schedule
+/// fields are consumed only by MacKind::kScheduled (see
+/// mac/schedule.hpp for the slotframe model they parameterize).
+struct MacPolicyParams {
+  ContentionParams contention;
+  std::size_t num_tags = 0;          ///< deployment size (scheduled)
+  std::size_t frame_slots = 0;       ///< cell span in slots (scheduled)
+  std::size_t dedicated_cells = 0;   ///< 0 = one per tag (scheduled)
+  std::size_t shared_cells = 2;      ///< retry cells (scheduled)
+};
+
+/// Builds the policy for `kind`. Throws std::invalid_argument when the
+/// scheduled parameters are inconsistent (zero frame span or tags).
+std::unique_ptr<MacPolicy> make_mac_policy(MacKind kind,
+                                           const MacPolicyParams& params);
+
+}  // namespace fdb::mac

@@ -1,0 +1,84 @@
+#include "mac/schedule.hpp"
+
+#include <stdexcept>
+
+namespace fdb::mac {
+
+std::uint64_t tag_hash(std::uint64_t tag_id) {
+  std::uint64_t z = tag_id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Slotframe::Slotframe(std::size_t cell_span_slots, std::size_t dedicated_cells,
+                     std::size_t shared_cells)
+    : span_(cell_span_slots), dedicated_(dedicated_cells),
+      shared_(shared_cells) {
+  if (span_ == 0) {
+    throw std::invalid_argument("slotframe cell span must be positive");
+  }
+  if (dedicated_ == 0) {
+    throw std::invalid_argument(
+        "slotframe needs at least one dedicated cell");
+  }
+}
+
+std::uint64_t Slotframe::next_cell_start(std::size_t cell,
+                                         std::uint64_t from) const {
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(cell) * static_cast<std::uint64_t>(span_);
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(slotframe_slots());
+  if (from <= offset) return offset;
+  const std::uint64_t frames_ahead = (from - offset + period - 1) / period;
+  return offset + frames_ahead * period;
+}
+
+std::size_t ScheduledMac::cell_for(std::size_t tag,
+                                   const TagMacState& state) const {
+  // Failure class 1 rides the shared fast lane; a deeper class means
+  // the lane was contested (or the channel is bad), so retreat to the
+  // tag's own contention-free cell — a retry storm of any size drains
+  // within one slotframe period instead of livelocking in the handful
+  // of shared cells.
+  if (state.exponent == 1 && frame_.shared_cells() > 0) {
+    return frame_.shared_cell(tag);
+  }
+  return frame_.dedicated_cell(tag);
+}
+
+std::size_t ScheduledMac::initial_wait(std::size_t tag, TagMacState& state,
+                                       Rng& /*rng*/) const {
+  // A counter of n fires in slot n-1, so +1 lands the start exactly on
+  // the cell boundary (including cell 0 at slot 0).
+  return static_cast<std::size_t>(
+             frame_.next_cell_start(cell_for(tag, state), 0)) +
+         1;
+}
+
+std::size_t ScheduledMac::next_wait(std::size_t tag, std::uint64_t slot,
+                                    TagMacState& state, Rng& /*rng*/) const {
+  // Strictly-future occurrence: a counter of n drawn in slot s fires in
+  // slot s+n, and next_cell_start(cell, slot+1) > slot always, so the
+  // wait is well-defined and >= 1.
+  const std::uint64_t start =
+      frame_.next_cell_start(cell_for(tag, state), slot + 1);
+  return static_cast<std::size_t>(start - slot);
+}
+
+void ScheduledMac::on_outcome(std::size_t /*tag*/, bool delivered,
+                              TagMacState& state) const {
+  if (delivered) {
+    state.exponent = 0;
+  } else {
+    ++state.exponent;
+  }
+}
+
+void ScheduledMac::on_notify_abort(std::size_t /*tag*/,
+                                   TagMacState& state) const {
+  ++state.exponent;
+}
+
+}  // namespace fdb::mac

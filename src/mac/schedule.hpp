@@ -1,0 +1,119 @@
+// TSCH-style scheduled slotframe for the network engine's MAC policy
+// layer (mac/policy.hpp). Slot time is divided into a repeating
+// *slotframe* of fixed-width cells, each cell wide enough for one frame
+// on air; ownership makes dedicated cells contention-free:
+//
+//   |  cell 0   |  cell 1   | ... | dedicated | shared 0 | shared 1 |
+//   |<- span ->|                                        repeats ->
+//
+//  * Dedicated cells — one per tag when `dedicated_cells >= num_tags`
+//    (the default; the factory sizes it off the deployment). A tag's
+//    fresh frames go out in its own cell with no contention at all.
+//  * Shared cells — Orchestra-style autonomous cells: a tag is hashed
+//    (splitmix64 on its id) onto one of `shared_cells` slots it uses
+//    for its FIRST retry after a loss — a fast lane that usually comes
+//    sooner than the tag's own cell. Contention is possible there, but
+//    only between tags whose hash collides AND which failed in the
+//    same slotframe. A second consecutive loss retreats to the tag's
+//    dedicated cell, which is contention-free by construction, so a
+//    retry storm drains within one slotframe period. Without the
+//    retreat, a mass-failure event such as a gateway outage would
+//    leave every tag livelocked in the shared cells after the fault
+//    clears: the schedule has no randomness to break the tie, and the
+//    handful of shared cells cannot serialise a whole deployment.
+//
+// The schedule is pure arithmetic on (tag id, slot): no RNG, no state
+// beyond the per-tag failure class in mac::TagMacState, so scheduled
+// trials stay deterministic and mergeable exactly like contention ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mac/policy.hpp"
+
+namespace fdb::mac {
+
+/// splitmix64 finalizer — the autonomous-cell hash. Stable across
+/// platforms (pure 64-bit integer math), well mixed for consecutive
+/// tag ids so neighbouring tags land in different shared cells.
+std::uint64_t tag_hash(std::uint64_t tag_id);
+
+/// The cell geometry: maps (tag, slot) to cell ownership and next
+/// transmit opportunities. Immutable after construction.
+class Slotframe {
+ public:
+  /// `cell_span_slots` must cover one frame on air (the network engine
+  /// passes its frame_slots; the verdict drains during the next cell's
+  /// first slot, while the owner is off air, so no drain pad is
+  /// needed). Throws std::invalid_argument on a zero span or zero
+  /// dedicated cells.
+  Slotframe(std::size_t cell_span_slots, std::size_t dedicated_cells,
+            std::size_t shared_cells);
+
+  std::size_t cell_span_slots() const { return span_; }
+  std::size_t dedicated_cells() const { return dedicated_; }
+  std::size_t shared_cells() const { return shared_; }
+  std::size_t num_cells() const { return dedicated_ + shared_; }
+  /// Period of the schedule in slots.
+  std::size_t slotframe_slots() const { return num_cells() * span_; }
+
+  /// Dedicated cell owned by `tag` — a true private cell whenever
+  /// dedicated_cells covers the deployment.
+  std::size_t dedicated_cell(std::size_t tag) const {
+    return tag % dedicated_;
+  }
+
+  /// Autonomous shared (retry) cell of `tag`, hash-keyed so no
+  /// signalling is needed to agree on it. Only valid when
+  /// shared_cells() > 0.
+  std::size_t shared_cell(std::size_t tag) const {
+    return dedicated_ + static_cast<std::size_t>(
+                            tag_hash(tag) % static_cast<std::uint64_t>(shared_));
+  }
+
+  /// First slot of cell `cell`'s earliest occurrence starting at or
+  /// after `from`.
+  std::uint64_t next_cell_start(std::size_t cell, std::uint64_t from) const;
+
+ private:
+  std::size_t span_;
+  std::size_t dedicated_;
+  std::size_t shared_;
+};
+
+/// Schedule-driven MAC policy: fresh frames in the tag's dedicated
+/// cell, the first retry (failure class 1) in its hash-keyed shared
+/// cell, and every further consecutive loss back in the dedicated cell
+/// (also the fallback when the slotframe has no shared cells).
+/// Collision notifications are honoured — shared-cell collisions abort
+/// early exactly like CollisionNotifyMac — and the verdict drains in
+/// one slot; no draw is ever made from the MAC Rng.
+class ScheduledMac final : public MacPolicy {
+ public:
+  explicit ScheduledMac(const Slotframe& frame) : frame_(frame) {}
+
+  const char* name() const override { return "scheduled"; }
+  MacKind kind() const override { return MacKind::kScheduled; }
+  bool aborts_on_notify() const override { return true; }
+  std::size_t verdict_wait_slots() const override { return 1; }
+
+  std::size_t initial_wait(std::size_t tag, TagMacState& state,
+                           Rng& rng) const override;
+  std::size_t next_wait(std::size_t tag, std::uint64_t slot,
+                        TagMacState& state, Rng& rng) const override;
+  void on_outcome(std::size_t tag, bool delivered,
+                  TagMacState& state) const override;
+  void on_notify_abort(std::size_t tag, TagMacState& state) const override;
+
+  const Slotframe& slotframe() const { return frame_; }
+
+ private:
+  /// The cell the tag's next attempt belongs in, given its failure
+  /// class.
+  std::size_t cell_for(std::size_t tag, const TagMacState& state) const;
+
+  Slotframe frame_;
+};
+
+}  // namespace fdb::mac

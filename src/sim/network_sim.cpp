@@ -26,7 +26,7 @@ struct TagRt {
   St st = St::kBackoff;
   std::size_t counter = 0;   // slots remaining in backoff / verdict wait
   std::size_t progress = 0;  // on-air slots of the current frame
-  std::size_t exponent = 0;  // BEB exponent
+  mac::TagMacState mac;      // policy state (failure class / BEB exponent)
   bool wait_entered_now = false;  // skip the tick the slot we enter wait
   bool brownout_now = false;      // energy ran out during this slot
 
@@ -37,6 +37,12 @@ struct TagRt {
   bool overlapped = false;
   std::uint64_t overlap_start = 0;
   std::uint32_t frame_id = 0;  // index into the hybrid-mode frame log
+
+  // Relaying: set when the current frame is a forward of another tag's
+  // traffic rather than fresh local data.
+  bool forwarding = false;
+  std::uint32_t fwd_originator = 0;
+  std::uint32_t fwd_hops = 0;  // hops the forward has already taken
 
   energy::Storage storage;
   energy::EnergyLedger ledger;
@@ -55,6 +61,14 @@ struct FrameLog {
   std::uint64_t start_slot = 0;
   std::vector<std::uint8_t> payload;
   std::vector<std::uint8_t> states;  // empty until first escalation
+};
+
+/// One frame sitting in a relay's forwarding queue, waiting for the
+/// relay's next owned slotframe cell.
+struct QueuedFrame {
+  std::uint32_t originator = 0;  // tag whose fresh frame this carries
+  std::uint32_t hops = 0;        // hops taken to reach this queue
+  std::vector<std::uint8_t> payload;
 };
 
 }  // namespace
@@ -85,6 +99,31 @@ void NetworkSimConfig::validate() const {
     throw std::invalid_argument(
         "NetworkSimConfig: unknown fading \"" + fading +
         "\" (expected \"static\", \"rayleigh\" or \"rician\")");
+  }
+  if (slots_per_trial == 0) {
+    throw std::invalid_argument(
+        "NetworkSimConfig: slots_per_trial must be positive (a trial "
+        "needs at least one slot)");
+  }
+  if (!(notify_slots_per_m >= 0.0)) {
+    throw std::invalid_argument(
+        "NetworkSimConfig: notify_slots_per_m must be non-negative, got " +
+        std::to_string(notify_slots_per_m));
+  }
+  relay.validate();
+  if (relay.enabled) {
+    if (mac_kind != mac::MacKind::kScheduled) {
+      throw std::invalid_argument(
+          "NetworkSimConfig: relaying requires the scheduled MAC (a relay "
+          "forwards in its own slotframe cell; under a contention MAC the "
+          "forwards would collide with the children they serve)");
+    }
+    if (!std::isfinite(fleet.cull_radius_m)) {
+      throw std::invalid_argument(
+          "NetworkSimConfig: relaying requires a finite "
+          "fleet.cull_radius_m (the culled set is the out-of-range set "
+          "relays exist to reach)");
+    }
   }
   if (failover_streak_frames > 0 &&
       combining != GatewayCombining::kBestGateway) {
@@ -145,6 +184,11 @@ void NetworkSimSummary::add(const NetworkTrialResult& trial) {
   frames_lost_tag_fault += trial.frames_lost_tag_fault;
   failovers += trial.failovers;
   time_to_failover_slots.merge(trial.time_to_failover_slots);
+  relay_tx_frames += trial.relay_tx_frames;
+  relay_rx_frames += trial.relay_rx_frames;
+  relayed_delivered += trial.relayed_delivered;
+  relay_drops += trial.relay_drops;
+  relay_hops.merge(trial.relay_hops);
 }
 
 void NetworkSimSummary::merge(const NetworkSimSummary& other) {
@@ -180,6 +224,11 @@ void NetworkSimSummary::merge(const NetworkSimSummary& other) {
   frames_lost_tag_fault += other.frames_lost_tag_fault;
   failovers += other.failovers;
   time_to_failover_slots.merge(other.time_to_failover_slots);
+  relay_tx_frames += other.relay_tx_frames;
+  relay_rx_frames += other.relay_rx_frames;
+  relayed_delivered += other.relayed_delivered;
+  relay_drops += other.relay_drops;
+  relay_hops.merge(other.relay_hops);
 }
 
 std::uint64_t NetworkSimSummary::frames_attempted() const {
@@ -229,7 +278,6 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
       synth_(config_.modem.data.rates, config_.envelope_cutoff_mult) {
   config_.validate();
   assert(config_.modem.consistent());
-  assert(config_.slots_per_trial > 0);
 
   ambient_device_ = scene_.add_device(
       {"ambient", channel::DeviceKind::kAmbientTx, config_.ambient_position});
@@ -282,6 +330,19 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
   frame_cost_j_ = static_cast<double>(frame_slots_) * slot_seconds() *
                   config_.power.backscattering_w;
 
+  // MAC policy: every per-slot medium-access decision of the slot loop
+  // below is delegated here. The scheduled kind sizes its slotframe
+  // cells off frame_slots_, so this must follow the rate derivation.
+  policy_ = mac::make_mac_policy(
+      config_.mac_kind,
+      {.contention = {.timeout_slots = config_.timeout_slots,
+                      .backoff_min_slots = config_.backoff_min_slots,
+                      .backoff_max_exponent = config_.backoff_max_exponent},
+       .num_tags = config_.tags.size(),
+       .frame_slots = frame_slots_,
+       .dedicated_cells = config_.sched_dedicated_cells,
+       .shared_cells = config_.sched_shared_cells});
+
   // Fault injector: compiled once against this deployment. Per-trial
   // plans come from a salted side substream, so fault randomness never
   // perturbs the main trial draws.
@@ -321,6 +382,10 @@ NetworkSimulator::NetworkSimulator(NetworkSimConfig config)
         culled_[k] = 0;
       }
     }
+    // Relay topology: BFS hop levels out of the in-range set just
+    // computed, plus each culled tag's parent-candidate list.
+    relay_topo_ = RelayTopology(positions, culled_, config_.relay,
+                                config_.fleet.grid_cell_m);
   }
   num_culled_ = static_cast<std::size_t>(
       std::count(culled_.begin(), culled_.end(), std::uint8_t{1}));
@@ -427,6 +492,31 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     }
   }
 
+  // Tag-tag hop links (relaying): per-trial gains drawn in (child,
+  // candidate) order right after the gateway links, so enabling
+  // relaying extends the draw sequence instead of reordering it. Each
+  // entry is the envelope swing the parent tag sees of the child's
+  // reflection riding on the parent's own ambient carrier.
+  const bool relay_on = config_.relay.enabled && relay_topo_.num_links() > 0;
+  std::span<float> delta_tt{};
+  if (relay_on) {
+    delta_tt = arena.alloc<float>(relay_topo_.num_links());
+    for (const std::uint32_t k : relay_topo_.relay_children()) {
+      const auto cands = relay_topo_.candidates(k);
+      const std::size_t off = relay_topo_.link_offset(k);
+      const auto& gamma = modulators_[k].states();
+      for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+        const cf32 h_tp =
+            fade_draw() *
+            static_cast<float>(scene_.amplitude_gain(
+                tag_device_[k], tag_device_[cands[ci]], trial_index));
+        delta_tt[off + ci] = static_cast<float>(envelope_swing(
+            h_st[cands[ci]], h_tp * gamma.gamma_reflect * h_st[k],
+            h_tp * gamma.gamma_absorb * h_st[k]));
+      }
+    }
+  }
+
   // Serving gateway per tag (kBestGateway): strongest tag->gateway link
   // of this trial, fading and shadowing included; ties to the lowest
   // index. A single gateway always serves.
@@ -465,6 +555,25 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     streak_start.assign(n_tags, 0);
     switch_count.assign(n_tags, 0);
     blacklist_until.assign(n_tags * n_gw, 0);
+  }
+
+  // Per-trial relaying state: each child's current parent (an index
+  // into its candidate list), per-link ETX counters, forwarding queues,
+  // and the end-to-end failure streaks that drive re-parenting. Heap
+  // vectors, not arena carves — queued payloads grow data-dependently.
+  std::vector<std::vector<QueuedFrame>> relay_queue;
+  std::vector<std::uint32_t> parent_idx;
+  std::vector<std::uint64_t> etx_attempts;
+  std::vector<std::uint64_t> etx_success;
+  std::vector<std::size_t> relay_fail_streak;
+  std::vector<std::uint64_t> relay_streak_start;
+  if (relay_on) {
+    relay_queue.resize(n_tags);
+    parent_idx.assign(n_tags, 0);
+    etx_attempts.assign(relay_topo_.num_links(), 0);
+    etx_success.assign(relay_topo_.num_links(), 0);
+    relay_fail_streak.assign(n_tags, 0);
+    relay_streak_start.assign(n_tags, 0);
   }
 
   // Shared per-link reflection couplings, precomputed once per trial
@@ -610,21 +719,22 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
   const auto& rates = config_.modem.data.rates;
   const std::size_t tail_samples = 2 * rates.samples_per_bit();
 
+  // MAC setup: the policy hands out the trial-opening waits and every
+  // later one; contention policies draw from the trial Rng in the
+  // identical order the pre-extraction loop did, the scheduled policy
+  // computes cell distances without touching it.
   std::vector<TagRt> rt;
   rt.reserve(n_tags);
   for (std::size_t k = 0; k < n_tags; ++k) {
     rt.emplace_back(config_.storage, config_.power);
-    rt[k].counter = mac::draw_backoff(rng, config_.backoff_min_slots, 0,
-                                      config_.backoff_max_exponent);
+    rt[k].counter = policy_->initial_wait(k, rt[k].mac, rng);
   }
 
-  const auto redraw_backoff = [&](TagRt& tag) {
-    tag.counter = mac::draw_backoff(rng, config_.backoff_min_slots,
-                                    tag.exponent,
-                                    config_.backoff_max_exponent);
+  const auto redraw_wait = [&](std::size_t k, std::uint64_t slot) {
+    rt[k].counter = policy_->next_wait(k, slot, rt[k].mac, rng);
   };
 
-  const bool fd = config_.mac_kind == mac::MacKind::kCollisionNotify;
+  const bool fd = policy_->aborts_on_notify();
   std::uint64_t idle_wait_slots = 0;
   std::vector<std::size_t> active;
   active.reserve(n_tags);
@@ -792,6 +902,99 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
     fail_streak[k] = 0;
   };
 
+  // End-to-end relay feedback: every loss of an originator's frame
+  // past its own transmission — a failed hop, a full or dying relay
+  // upstream, a forward lost at the gateway — extends its streak (the
+  // implicit missing end-to-end ACK a real mesh would observe).
+  // Hitting the threshold re-parents onto the smoothed-ETX-best
+  // candidate; the switch lands in the same failover stats the gateway
+  // machine feeds, which is how a gateway outage shows up as relay
+  // rerouting.
+  // `charge_link` marks losses the child's own hop bookkeeping has not
+  // already counted (anything past its transmission): they land as a
+  // failed attempt on the child's *current* link, so a dead upstream
+  // degrades the link's smoothed ETX even while the first hop itself
+  // keeps succeeding — otherwise re-parenting could never route around
+  // a gateway outage two hops away.
+  const auto charge_relay_failure = [&](std::uint32_t o,
+                                        std::uint64_t learn_slot,
+                                        bool charge_link) {
+    if (charge_link) ++etx_attempts[relay_topo_.link_offset(o) + parent_idx[o]];
+    if (relay_fail_streak[o] == 0) relay_streak_start[o] = learn_slot;
+    if (++relay_fail_streak[o] < config_.relay.reparent_fail_streak) return;
+    const auto cands = relay_topo_.candidates(o);
+    const std::size_t off = relay_topo_.link_offset(o);
+    std::size_t best = parent_idx[o];
+    double best_etx = std::numeric_limits<double>::infinity();
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      const double etx = static_cast<double>(etx_attempts[off + ci] + 1) /
+                         static_cast<double>(etx_success[off + ci] + 1);
+      if (etx < best_etx) {
+        best_etx = etx;
+        best = ci;
+      }
+    }
+    if (best != parent_idx[o]) {
+      parent_idx[o] = static_cast<std::uint32_t>(best);
+      ++res.failovers;
+      res.time_to_failover_slots.add(
+          static_cast<double>(learn_slot - relay_streak_start[o] + 1));
+    }
+    relay_fail_streak[o] = 0;
+  };
+
+  // Resolves a relay child's completed frame against its current parent
+  // link: the hop delivers iff the frame stayed clean on air and the
+  // tag-tag envelope swing clears the analytic margin floor — one rule
+  // in every fidelity mode, since no sample-level receiver exists at a
+  // tag. A delivered hop lands the frame in the parent's forwarding
+  // queue; the parent re-reflects it in its own slotframe cell.
+  const double hop_noise_sigma = std::sqrt(config_.noise_power_w() / 2.0);
+  const auto resolve_hop = [&](std::size_t k, std::uint64_t learn_slot,
+                               bool update_mac) {
+    TagRt& tag = rt[k];
+    const std::size_t off = relay_topo_.link_offset(k);
+    const std::size_t ci = parent_idx[k];
+    const std::uint32_t parent = relay_topo_.candidates(k)[ci];
+    ++etx_attempts[off + ci];
+    const double margin = analytic_margin_db(
+        delta_tt[off + ci], 0.0, hop_noise_sigma, rates.samples_per_chip,
+        fleet.analytic_target_ber);
+    const bool success =
+        !tag.overlapped && margin >= config_.relay.min_margin_db;
+    if (update_mac) policy_->on_outcome(k, success, tag.mac);
+    const std::uint32_t originator =
+        tag.forwarding ? tag.fwd_originator : static_cast<std::uint32_t>(k);
+    if (success) {
+      ++etx_success[off + ci];
+      if (relay_queue[parent].size() < config_.relay.queue_capacity) {
+        relay_queue[parent].push_back(
+            {originator, tag.forwarding ? tag.fwd_hops + 1 : 1, tag.payload});
+        ++res.relay_rx_frames;
+        res.useful_slots += frame_slots_;
+      } else {
+        ++res.relay_drops;
+        charge_relay_failure(originator, learn_slot, /*charge_link=*/true);
+      }
+      return;
+    }
+    if (tag.forwarding) {
+      ++res.relay_drops;
+      charge_relay_failure(originator, learn_slot, /*charge_link=*/true);
+      return;
+    }
+    if (tag.overlapped) {
+      ++res.tags[k].frames_collided;
+      ++res.collisions;
+      res.detect_latency_slots.add(
+          static_cast<double>(learn_slot - tag.overlap_start + 1));
+    } else {
+      ++res.sync_failures;
+    }
+    // The failed hop was already recorded on the link above.
+    charge_relay_failure(originator, learn_slot, /*charge_link=*/false);
+  };
+
   // Escalated resolution of one contested frame (kHybrid): re-run the
   // real sample-level chain, but only over this frame's decode window,
   // only at the contested gateways, and only folding in-range logged
@@ -901,6 +1104,7 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
   const auto resolve_verdict = [&](std::size_t k, std::uint64_t learn_slot,
                                    bool update_mac) {
     TagRt& tag = rt[k];
+    const bool fwd = relay_on && tag.forwarding;
     bool delivered = false;
     bool escalated = false;
     LinkVerdict combined = LinkVerdict::kContested;
@@ -959,6 +1163,12 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         } else {
           gw_verdict[g] = resolver_.classify(d, interf);
           margin = resolver_.margin_db(d, interf);
+        }
+        if (fwd && gw_verdict[g] == LinkVerdict::kClearDeliver) {
+          // Relayed delivery is never claimed from the margin band
+          // alone (one-sided-safe): force the contested band so kHybrid
+          // escalates to synthesis and kAnalytic point-estimates.
+          gw_verdict[g] = LinkVerdict::kContested;
         }
         gw_margin[g] = margin;
         if (margin > best_margin) {
@@ -1045,12 +1255,31 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
                             escalated});
     }
     if (has_faults) classify_fault_loss(k, delivered);
-    if (update_mac) note_frame_outcome(k, delivered, learn_slot);
-    if (delivered) {
+    if (update_mac) {
+      if (!fwd) note_frame_outcome(k, delivered, learn_slot);
+      policy_->on_outcome(k, delivered, tag.mac);
+    }
+    if (fwd) {
+      // A forward's outcome belongs to the originator; the relay's own
+      // per-tag counters stay untouched (delivered + collided <=
+      // attempted must keep holding per tag).
+      if (delivered) {
+        ++res.tags[tag.fwd_originator].frames_delivered;
+        res.tags[tag.fwd_originator].payload_bits_delivered +=
+            config_.payload_bytes * 8;
+        ++res.relayed_delivered;
+        res.relay_hops.add(static_cast<double>(tag.fwd_hops + 1));
+        res.useful_slots += frame_slots_;
+        relay_fail_streak[tag.fwd_originator] = 0;
+      } else {
+        ++res.relay_drops;
+        charge_relay_failure(tag.fwd_originator, learn_slot,
+                             /*charge_link=*/true);
+      }
+    } else if (delivered) {
       ++res.tags[k].frames_delivered;
       res.tags[k].payload_bits_delivered += config_.payload_bytes * 8;
       res.useful_slots += frame_slots_;
-      if (update_mac) tag.exponent = 0;
     } else {
       if (tag.overlapped) {
         ++res.tags[k].frames_collided;
@@ -1060,7 +1289,6 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
       } else {
         ++res.sync_failures;
       }
-      if (update_mac) ++tag.exponent;
     }
   };
 
@@ -1081,17 +1309,33 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         if (config_.energy_gating &&
             tag.storage.level_j() < frame_cost_j_) {
           ++res.tags[k].energy_outages;
-          redraw_backoff(tag);
+          redraw_wait(k, slot);
           continue;
         }
         tag.st = TagRt::St::kTx;
         tag.progress = 0;
         tag.start_slot = slot;
         tag.overlapped = false;
-        ++res.tags[k].frames_attempted;
-        tag.payload.resize(config_.payload_bytes);
-        for (auto& byte : tag.payload) {
-          byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+        tag.forwarding = relay_on && !relay_queue[k].empty();
+        if (tag.forwarding) {
+          // Forwarding outranks fresh traffic — the queued frame is
+          // older. No payload draw: the scheduled MAC never touches the
+          // trial Rng either, so the draw sequence is a pure function
+          // of the queue evolution (mode-dependent only where gateway
+          // verdicts are; relaying's cross-fidelity contract is
+          // statistical, not draw-exact).
+          QueuedFrame f = std::move(relay_queue[k].front());
+          relay_queue[k].erase(relay_queue[k].begin());
+          tag.fwd_originator = f.originator;
+          tag.fwd_hops = f.hops;
+          tag.payload = std::move(f.payload);
+          ++res.relay_tx_frames;
+        } else {
+          ++res.tags[k].frames_attempted;
+          tag.payload.resize(config_.payload_bytes);
+          for (auto& byte : tag.payload) {
+            byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+          }
         }
         // Antenna states are only modulated where samples are needed:
         // per-slot synthesis (kWaveform) now, escalated windows
@@ -1233,14 +1477,20 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
       }
       if (tag.brownout_now) {
         // Storage emptied under the switch drive: the frame dies on air.
-        ++res.tags[k].frames_aborted;
-        if (tag.overlapped) {
-          ++res.tags[k].frames_collided;
-          ++res.collisions;
+        if (relay_on && tag.forwarding) {
+          ++res.relay_drops;
+          charge_relay_failure(tag.fwd_originator, slot,
+                               /*charge_link=*/true);
+        } else {
+          ++res.tags[k].frames_aborted;
+          if (tag.overlapped) {
+            ++res.tags[k].frames_collided;
+            ++res.collisions;
+          }
         }
         if (has_faults) classify_fault_loss(k, /*delivered=*/false);
         tag.st = TagRt::St::kBackoff;
-        redraw_backoff(tag);
+        redraw_wait(k, slot);
         continue;
       }
       bool notified = false;
@@ -1269,22 +1519,29 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
         // (notify latency block-times after the overlap began, not
         // after the frame started — mid-frame collision victims wait
         // the full notification latency too): abort now.
-        ++res.tags[k].frames_aborted;
-        ++res.tags[k].frames_collided;
-        ++res.collisions;
-        res.detect_latency_slots.add(
-            static_cast<double>(slot - tag.overlap_start + 1));
+        if (relay_on && tag.forwarding) {
+          ++res.relay_drops;
+          charge_relay_failure(tag.fwd_originator, slot,
+                               /*charge_link=*/true);
+        } else {
+          ++res.tags[k].frames_aborted;
+          ++res.tags[k].frames_collided;
+          ++res.collisions;
+          res.detect_latency_slots.add(
+              static_cast<double>(slot - tag.overlap_start + 1));
+        }
         if (has_faults) classify_fault_loss(k, /*delivered=*/false);
-        ++tag.exponent;
+        policy_->on_notify_abort(k, tag.mac);
         tag.st = TagRt::St::kBackoff;
-        redraw_backoff(tag);
+        redraw_wait(k, slot);
         continue;
       }
       if (tag.progress >= frame_slots_) {
-        // Frame fully on air. FD drains one slot for the final block
-        // verdict; the timeout MAC idles through the ACK window.
+        // Frame fully on air. The policy decides the drain: one slot
+        // for the final block verdict (notify / scheduled), the ACK
+        // timeout for the timeout MAC.
         tag.st = TagRt::St::kWaitVerdict;
-        tag.counter = fd ? 1 : std::max<std::size_t>(1, config_.timeout_slots);
+        tag.counter = policy_->verdict_wait_slots();
         tag.wait_entered_now = true;
       }
     }
@@ -1294,9 +1551,13 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
       TagRt& tag = rt[k];
       if (tag.st != TagRt::St::kWaitVerdict || tag.wait_entered_now) continue;
       if (tag.counter == 0 || --tag.counter == 0) {
-        resolve_verdict(k, slot, /*update_mac=*/true);
+        if (relay_on && relay_topo_.reachable(k) && relay_topo_.level(k) >= 1) {
+          resolve_hop(k, slot, /*update_mac=*/true);
+        } else {
+          resolve_verdict(k, slot, /*update_mac=*/true);
+        }
         tag.st = TagRt::St::kBackoff;
-        redraw_backoff(tag);
+        redraw_wait(k, slot);
       }
     }
   }
@@ -1306,10 +1567,20 @@ NetworkTrialResult NetworkSimulator::run_trial(std::uint64_t trial_index,
   // the stats without MAC consequences.
   for (std::size_t k = 0; k < n_tags; ++k) {
     if (rt[k].st == TagRt::St::kWaitVerdict) {
-      resolve_verdict(k, slots - 1, /*update_mac=*/false);
+      if (relay_on && relay_topo_.reachable(k) && relay_topo_.level(k) >= 1) {
+        resolve_hop(k, slots - 1, /*update_mac=*/false);
+      } else {
+        resolve_verdict(k, slots - 1, /*update_mac=*/false);
+      }
     }
     rt[k].st = TagRt::St::kBackoff;
     res.tags[k].spent_j = rt[k].ledger.total_energy_j();
+  }
+  if (relay_on) {
+    // Frames still sitting in forwarding queues never reached a
+    // gateway: fabric drops (no streak charge — the per-trial relay
+    // state dies here anyway).
+    for (const auto& q : relay_queue) res.relay_drops += q.size();
   }
 
   res.wasted_slots = (res.busy_slots > res.useful_slots

@@ -50,6 +50,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,8 +62,10 @@
 #include "energy/ledger.hpp"
 #include "energy/storage.hpp"
 #include "mac/collision.hpp"
+#include "mac/policy.hpp"
 #include "sim/faults.hpp"
 #include "sim/fleet.hpp"
+#include "sim/relay.hpp"
 #include "sim/synthesis.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -110,7 +113,10 @@ struct NetworkSimConfig {
   double noise_power_override_w = -1.0;  // >=0 replaces thermal estimate
   double envelope_cutoff_mult = 4.0;
 
-  // MAC (slot-domain contention; slots are block-times).
+  // MAC (slot-domain; slots are block-times). The kind selects a
+  // mac::MacPolicy implementation — contention with BEB (kTimeout /
+  // kCollisionNotify) or the TSCH-style scheduled slotframe
+  // (kScheduled, mac/schedule.hpp).
   mac::MacKind mac_kind = mac::MacKind::kCollisionNotify;
   std::size_t notify_delay_slots = 2;
   /// Distance term of the per-gateway notification latency: gateway g
@@ -121,6 +127,11 @@ struct NetworkSimConfig {
   std::size_t timeout_slots = 8;
   std::size_t backoff_min_slots = 4;
   std::size_t backoff_max_exponent = 6;
+  /// Scheduled MAC only: dedicated cells of the slotframe (0 = one per
+  /// tag, the contention-free default) and Orchestra-style shared retry
+  /// cells (0 = retries reuse the dedicated cell).
+  std::size_t sched_dedicated_cells = 0;
+  std::size_t sched_shared_cells = 2;
   std::size_t slots_per_trial = 256;
 
   // Energy. Gating makes storage a hard constraint: frames need an
@@ -140,6 +151,12 @@ struct NetworkSimConfig {
   // from a salted side substream. The default (disabled) keeps every
   // trial bit-identical to the fault-free engine.
   FaultConfig faults{};
+
+  // Tag-to-tag relaying (sim/relay.hpp): culled tags reach a gateway in
+  // 2-3 hops through scheduled relays. Requires mac_kind == kScheduled
+  // and a finite fleet.cull_radius_m (the culled set *is* the
+  // out-of-range set relaying exists for). Disabled by default.
+  RelayConfig relay{};
 
   // Dead-gateway failover (kBestGateway only): after this many
   // consecutive failed frames the tag blacklists its serving gateway
@@ -239,11 +256,22 @@ struct NetworkTrialResult {
   std::uint64_t frames_lost_sag = 0;
   std::uint64_t frames_lost_interference = 0;
   std::uint64_t frames_lost_tag_fault = 0;
-  /// Successful serving-gateway switches of the failover machine.
+  /// Successful serving-gateway switches of the failover machine, plus
+  /// relay re-parents (a child abandoning its current relay link).
   std::uint64_t failovers = 0;
   /// Slots from the first frame start of a failure streak to the slot
-  /// the tag switched gateways.
+  /// the tag switched gateways (or relay parents).
   RunningStats time_to_failover_slots;
+
+  // Relaying accounting (all zero with relaying disabled).
+  std::uint64_t relay_tx_frames = 0;   ///< forward transmissions started
+  std::uint64_t relay_rx_frames = 0;   ///< hops received and enqueued
+  std::uint64_t relayed_delivered = 0; ///< forwarded frames delivered
+  /// Frames lost inside the relay fabric: failed hops, full queues,
+  /// aborted/browned-out forwards, and frames still queued at trial end.
+  std::uint64_t relay_drops = 0;
+  /// Hop count (originator to gateway) of relay-delivered frames.
+  RunningStats relay_hops;
 
   /// Per-frame log; filled only when FleetConfig::record_frames.
   std::vector<FrameRecord> frames;
@@ -282,6 +310,12 @@ struct NetworkSimSummary {
   std::uint64_t frames_lost_tag_fault = 0;
   std::uint64_t failovers = 0;
   RunningStats time_to_failover_slots;
+
+  std::uint64_t relay_tx_frames = 0;
+  std::uint64_t relay_rx_frames = 0;
+  std::uint64_t relayed_delivered = 0;
+  std::uint64_t relay_drops = 0;
+  RunningStats relay_hops;
 
   void add(const NetworkTrialResult& trial);
   void merge(const NetworkSimSummary& other);
@@ -372,6 +406,8 @@ class NetworkSimulator {
 
   const NetworkSimConfig& config() const { return config_; }
   const channel::Scene& scene() const { return scene_; }
+  /// The MAC policy the slot loop delegates to (mac/policy.hpp).
+  const mac::MacPolicy& policy() const { return *policy_; }
 
   std::size_t num_tags() const { return config_.tags.size(); }
   std::size_t num_gateways() const { return gateway_device_.size(); }
@@ -414,6 +450,8 @@ class NetworkSimulator {
   bool tag_culled(std::size_t k) const { return culled_.at(k) != 0; }
   /// Number of culled tags in the deployment.
   std::size_t num_culled() const { return num_culled_; }
+  /// The static hop topology (empty levels when relaying is disabled).
+  const RelayTopology& relay_topology() const { return relay_topo_; }
 
  private:
   NetworkSimConfig config_;
@@ -426,6 +464,11 @@ class NetworkSimulator {
   std::vector<channel::BackscatterModulator> modulators_;
   energy::Harvester harvester_;
   WaveformSynthesizer synth_;
+  /// Per-slot MAC decisions, extracted behind mac::MacPolicy. Immutable
+  /// after construction and shared by concurrent trials (all per-trial
+  /// MAC state lives in the trial's mac::TagMacState instances); shared
+  /// ownership keeps the simulator copyable.
+  std::shared_ptr<const mac::MacPolicy> policy_;
   std::vector<std::size_t> notify_slots_;  ///< per-tag earliest notify
   std::vector<std::size_t> notify_pg_;     ///< [tag * n_gw + gw] latency
   FaultInjector injector_;
@@ -440,6 +483,10 @@ class NetworkSimulator {
   std::vector<std::uint8_t> in_range_;  ///< [tag * n_gw + gw] within radius
   std::vector<std::uint8_t> culled_;    ///< [tag] out of range everywhere
   std::size_t num_culled_ = 0;
+
+  // Relaying (sim/relay.hpp): hop levels + parent candidates, built
+  // from the culling result at construction.
+  RelayTopology relay_topo_;
 };
 
 }  // namespace fdb::sim

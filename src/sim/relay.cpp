@@ -1,0 +1,94 @@
+#include "sim/relay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sim/fleet.hpp"
+
+namespace fdb::sim {
+
+void RelayConfig::validate() const {
+  if (!enabled) return;
+  if (!(range_m > 0.0) || !std::isfinite(range_m)) {
+    throw std::invalid_argument(
+        "RelayConfig: range_m must be positive and finite, got " +
+        std::to_string(range_m));
+  }
+  if (max_hops < 2) {
+    throw std::invalid_argument(
+        "RelayConfig: max_hops must be >= 2 (one relay hop plus the "
+        "gateway hop), got " + std::to_string(max_hops));
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument(
+        "RelayConfig: queue_capacity must be positive (a relay needs "
+        "room to hold at least one frame)");
+  }
+  if (reparent_fail_streak == 0) {
+    throw std::invalid_argument(
+        "RelayConfig: reparent_fail_streak must be positive (zero would "
+        "re-parent before any failure)");
+  }
+  if (!std::isfinite(min_margin_db)) {
+    throw std::invalid_argument(
+        "RelayConfig: min_margin_db must be finite, got " +
+        std::to_string(min_margin_db));
+  }
+}
+
+RelayTopology::RelayTopology(std::span<const channel::Vec2> positions,
+                             std::span<const std::uint8_t> culled,
+                             const RelayConfig& config, double grid_cell_m) {
+  const std::size_t n = positions.size();
+  level_.assign(n, kUnreachable);
+  off_.assign(n + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!culled[k]) level_[k] = 0;
+  }
+  if (!config.enabled || n == 0) return;
+
+  // BFS out from the in-range set, one level per relay hop. The grid
+  // enumerates each tag's disk once per level; level assignment order
+  // is index-ascending, so the result is deterministic.
+  const CullingGrid grid(positions, grid_cell_m);
+  const std::size_t max_level = config.max_hops - 1;
+  for (std::size_t lvl = 1; lvl <= max_level; ++lvl) {
+    bool grew = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (level_[k] != kUnreachable) continue;
+      const auto near = grid.within(positions[k], config.range_m);
+      for (const std::uint32_t p : near) {
+        if (level_[p] == lvl - 1) {
+          level_[k] = lvl;
+          grew = true;
+          break;
+        }
+      }
+    }
+    if (!grew) break;
+  }
+
+  // Candidate lists: level-(n-1) neighbours, nearest first (ties to the
+  // lower index — within() already returns ascending indices).
+  std::vector<std::pair<double, std::uint32_t>> ranked;
+  for (std::size_t k = 0; k < n; ++k) {
+    off_[k] = static_cast<std::uint32_t>(flat_.size());
+    if (level_[k] == 0 || level_[k] == kUnreachable) continue;
+    ranked.clear();
+    for (const std::uint32_t p : grid.within(positions[k], config.range_m)) {
+      if (p == k || level_[p] != level_[k] - 1) continue;
+      ranked.emplace_back(channel::distance_m(positions[k], positions[p]), p);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& [dist, p] : ranked) flat_.push_back(p);
+    if (!ranked.empty()) children_.push_back(static_cast<std::uint32_t>(k));
+  }
+  off_[n] = static_cast<std::uint32_t>(flat_.size());
+}
+
+}  // namespace fdb::sim

@@ -1,0 +1,122 @@
+// Tag-to-tag relaying for the network engine: the static hop topology
+// and the knobs that drive it. An "out-of-range" tag — culled, i.e.
+// beyond FleetConfig::cull_radius_m of every gateway — cannot reach a
+// gateway in one hop; with relaying enabled it reaches one in 2-3 by
+// re-reflecting through nearer tags:
+//
+//   gateway <── level-0 tag <── level-1 tag <── level-2 tag
+//              (in range)      (culled, one    (culled, two
+//                               hop out)        hops out)
+//
+// The topology is BFS over tag-tag links of at most `range_m`: level 0
+// is the non-culled set, level n the still-unreached culled tags within
+// range of a level n-1 tag, out to max_hops. A tag's *parent
+// candidates* are its level-(n-1) neighbours sorted by (distance,
+// index); which candidate currently carries its traffic is decided per
+// trial by ETX-like per-link delivery stats (sim/network_sim.cpp), with
+// consecutive failures — including losses deeper in the chain, the
+// signal a dead gateway propagates back — triggering a re-parent that
+// the existing failover/time-to-failover stats measure.
+//
+// Relaying requires the scheduled MAC (mac/schedule.hpp): a relay
+// forwards a queued frame in its own dedicated cell, so forwarded
+// traffic never contends with the fresh frames of its children. Hop
+// delivery (child's reflection decoded *at the parent tag*) is judged
+// by the same analytic envelope-swing margin the fleet classifier uses,
+// in every fidelity mode — there is no sample-level receiver model at a
+// tag, and using one rule everywhere keeps the modes' RNG streams and
+// MAC evolution aligned. The final relay->gateway hop goes through the
+// full gateway machinery, with analytic clear-deliver verdicts demoted
+// to contested (one-sided-safe: relayed delivery is never claimed from
+// the margin band alone; kHybrid escalates it to synthesis).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "channel/scene.hpp"
+
+namespace fdb::sim {
+
+/// Relaying knobs carried inside NetworkSimConfig.
+struct RelayConfig {
+  bool enabled = false;
+
+  /// Tag-to-tag radio range: only pairs this close can form a hop link.
+  double range_m = 12.0;
+  /// Total hops an originator's frame may take to a gateway (>= 2; 3 =
+  /// up to two relays). Bounds the BFS depth, so deeper tags stay
+  /// unreachable rather than forming unbounded chains.
+  std::size_t max_hops = 3;
+  /// Frames a relay will hold for forwarding; a hop that lands on a
+  /// full queue is dropped (counted, never retransmitted).
+  std::size_t queue_capacity = 4;
+  /// Consecutive end-to-end failures of a child's current link before
+  /// it re-parents onto the lowest-ETX candidate.
+  std::size_t reparent_fail_streak = 2;
+  /// Minimum analytic envelope-swing margin (dB over the target-BER
+  /// SINR) for a tag-tag hop to deliver. Positive values keep the hop
+  /// rule one-sided-safe against the unmodeled tag receiver.
+  double min_margin_db = 3.0;
+
+  /// Throws std::invalid_argument on non-positive range, max_hops < 2,
+  /// a zero queue, a zero re-parent streak, or a non-finite margin.
+  void validate() const;
+};
+
+/// Static hop topology over one deployment: BFS levels from the
+/// non-culled set and per-tag parent-candidate lists. Immutable after
+/// construction; all per-trial relay state (parents, ETX counters,
+/// queues) lives inside NetworkSimulator::run_trial.
+class RelayTopology {
+ public:
+  static constexpr std::size_t kUnreachable =
+      std::numeric_limits<std::size_t>::max();
+
+  RelayTopology() = default;
+
+  /// `culled[k]` nonzero marks tag k outside every gateway's range (the
+  /// simulator's culling result); `grid_cell_m` only tiles the neighbour
+  /// index and never changes results.
+  RelayTopology(std::span<const channel::Vec2> positions,
+                std::span<const std::uint8_t> culled,
+                const RelayConfig& config, double grid_cell_m);
+
+  /// BFS hop distance of tag k from the in-range set: 0 = in range,
+  /// n >= 1 = reaches a gateway in n+1 hops via relays, kUnreachable =
+  /// no chain within range_m and max_hops.
+  std::size_t level(std::size_t k) const { return level_.at(k); }
+  bool reachable(std::size_t k) const {
+    return level_.at(k) != kUnreachable;
+  }
+
+  /// Parent candidates of tag k: its level-(level(k)-1) neighbours,
+  /// nearest first (ties to the lower index). Empty for level-0 and
+  /// unreachable tags.
+  std::span<const std::uint32_t> candidates(std::size_t k) const {
+    return std::span<const std::uint32_t>(flat_).subspan(
+        off_.at(k), off_.at(k + 1) - off_.at(k));
+  }
+  /// Start of tag k's candidate run inside the flat link array — the
+  /// key for per-trial per-link state (ETX counters, hop gains).
+  std::size_t link_offset(std::size_t k) const { return off_.at(k); }
+  /// Total candidate links in the topology.
+  std::size_t num_links() const { return flat_.size(); }
+
+  /// Tags at level >= 1 with at least one candidate, ascending — the
+  /// set whose frames resolve through the hop rule.
+  std::span<const std::uint32_t> relay_children() const {
+    return children_;
+  }
+
+ private:
+  std::vector<std::size_t> level_;
+  std::vector<std::uint32_t> flat_;  ///< candidate parent tag ids
+  std::vector<std::uint32_t> off_;   ///< tag -> range into flat_
+  std::vector<std::uint32_t> children_;
+};
+
+}  // namespace fdb::sim

@@ -103,6 +103,12 @@ const std::vector<std::string>& scenario_names() {
   return kNames;
 }
 
+const std::vector<std::string>& mesh_scenario_names() {
+  static const std::vector<std::string> kNames = {"corridor-multihop",
+                                                  "warehouse-mesh"};
+  return kNames;
+}
+
 NetworkScenario make_scenario(const std::string& name, std::size_t num_tags,
                               std::uint64_t seed) {
   const std::size_t n = num_tags == 0 ? 8 : num_tags;
@@ -246,8 +252,68 @@ NetworkScenario make_scenario(const std::string& name, std::size_t num_tags,
     // shadowing upswings must not make an out-of-range link contested.
     config.fleet.cull_radius_m = 35.0;
     config.fleet.grid_cell_m = 8.0;
+  } else if (name == "corridor-multihop") {
+    scenario.summary =
+        "multi-hop corridor: one gateway at the end of a 50 m tag line"
+        " under distant-tower illumination; tags past the 30 m cull"
+        " radius reach it only by relaying through nearer tags"
+        " (scheduled MAC, 2-3 hops)";
+    // Same link budget as warehouse-10k: near-uniform tower
+    // illumination, clear-deliver inside ~10 m of the gateway,
+    // statically clear-fail past ~28 m. The line extends well beyond
+    // the 30 m cull radius, so without relaying the far tags deliver
+    // nothing; the 14 m hop range spans the default 6 m tag spacing
+    // with slack for other num_tags choices.
+    config.ambient_position = {-300.0, 0.0};
+    config.tx_power_w = 1000.0;
+    config.receiver_position = {0.0, 0.0};
+    config.tags = line({2.0, 0.0}, {50.0, 0.0}, n, 0.4);
+    config.noise_power_override_w = 2.5e-13;
+    config.payload_bytes = 16;
+    config.notify_slots_per_m = 0.1;
+    // Several slotframes per trial: an out-of-range frame needs one
+    // owned cell per hop, possibly a slotframe apart each.
+    config.slots_per_trial = 160;
+    config.mac_kind = mac::MacKind::kScheduled;
+    config.fleet.fidelity = FidelityMode::kHybrid;
+    config.fleet.cull_radius_m = 30.0;
+    config.fleet.grid_cell_m = 6.0;
+    config.relay.enabled = true;
+    config.relay.range_m = 14.0;
+  } else if (name == "warehouse-mesh") {
+    scenario.summary =
+        "mesh hall: tag grid across a 100x24 m hall with both gateways"
+        " against the left wall; the right half is a dead zone that"
+        " drains through scheduled tag-to-tag relays (pass num_tags >="
+        " ~24 so grid neighbours land inside hop range)";
+    config.ambient_position = {-300.0, 12.0};
+    config.tx_power_w = 1000.0;
+    config.receiver_position = {12.0, 6.0};
+    config.extra_gateways = {{12.0, 18.0}};
+    config.combining = GatewayCombining::kAnyGateway;
+    config.tags = grid(0.0, 0.0, 100.0, 24.0, n, 0.4);
+    config.noise_power_override_w = 2.5e-13;
+    config.payload_bytes = 16;
+    config.notify_slots_per_m = 0.1;
+    // The slotframe grows with num_tags (one dedicated cell each), and
+    // a 3-hop traversal can span three slotframes: budget generously.
+    config.slots_per_trial = 512;
+    config.mac_kind = mac::MacKind::kScheduled;
+    config.fleet.fidelity = FidelityMode::kHybrid;
+    config.fleet.cull_radius_m = 30.0;
+    config.fleet.grid_cell_m = 8.0;
+    config.relay.enabled = true;
+    // 14 m reaches the diagonal grid neighbours (10 m pitch, 8 m row
+    // gap -> 12.8 m), so every relayed tag has at least two candidate
+    // parents and ETX re-parenting has somewhere to go.
+    config.relay.range_m = 14.0;
   } else {
-    throw std::invalid_argument("unknown network scenario: " + name);
+    std::string valid;
+    for (const auto& s : scenario_names()) valid += s + ", ";
+    for (const auto& s : mesh_scenario_names()) valid += s + ", ";
+    valid.resize(valid.size() - 2);
+    throw std::invalid_argument("unknown network scenario \"" + name +
+                                "\" (valid: " + valid + ")");
   }
 
   scenario.config = std::move(config);

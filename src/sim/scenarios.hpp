@@ -29,6 +29,17 @@
 //   city-block        tags along a 100x100 m street grid with corner/
 //                     centre gateways, Rayleigh + shadowing: urban dead
 //                     zones exercise the culling index.
+//
+// Mesh scenarios (separate registry — they pin the scheduled MAC and
+// enable relaying, so benches that sweep MAC kinds must not iterate
+// them):
+//
+//   corridor-multihop one gateway at the end of a 50 m tag line; tags
+//                     beyond the cull radius deliver only via 2-3
+//                     scheduled relay hops.
+//   warehouse-mesh    tag grid across a 100x24 m hall, both gateways on
+//                     the left wall: the dead right half drains through
+//                     the relay fabric (best with num_tags >= ~24).
 #pragma once
 
 #include <string>
@@ -44,8 +55,14 @@ struct NetworkScenario {
   NetworkSimConfig config;
 };
 
-/// Registry order (stable; benches iterate this).
+/// Registry order (stable; benches iterate this). Contains only the
+/// contention scenarios — every entry accepts any MacKind.
 const std::vector<std::string>& scenario_names();
+
+/// The relay-enabled mesh scenarios (stable order). Kept out of
+/// scenario_names(): they require the scheduled MAC, so MAC-sweeping
+/// benches cannot iterate them.
+const std::vector<std::string>& mesh_scenario_names();
 
 /// Builds a named scenario. `num_tags` == 0 keeps the scenario default
 /// (8); `seed` keys all trial randomness. Throws std::invalid_argument

@@ -86,6 +86,60 @@ TEST(Scene, ShadowedGainDeterministicAndQueryOrderFree) {
   EXPECT_NE(s1.amplitude_gain(0, 1, 3), s3.amplitude_gain(0, 1, 3));
 }
 
+TEST(Scene, TagToTagLinksStayReciprocalAmongGatewayQueries) {
+  // The relay fabric rides tag<->tag gains from the same scene that
+  // serves the tag<->gateway links, so the pair-keyed shadowing must
+  // hold up with both link classes interleaved: every tag-tag draw
+  // reciprocal, and never perturbed by tag-gateway queries in between.
+  Scene scene(shadowed_model(6.0), /*shadowing_seed=*/7);
+  const auto tx = scene.add_device({"tv", DeviceKind::kAmbientTx, {-30, 0}});
+  const auto gw = scene.add_device({"gw", DeviceKind::kReceiver, {0.0, 0.0}});
+  const auto t0 = scene.add_device({"t0", DeviceKind::kTag, {5.0, 0.0}});
+  const auto t1 = scene.add_device({"t1", DeviceKind::kTag, {11.0, 0.0}});
+  const auto t2 = scene.add_device({"t2", DeviceKind::kTag, {17.0, 2.0}});
+
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    // Interleave gateway-side queries between both directions of each
+    // tag-tag probe: reciprocity must be a pure pair property.
+    (void)scene.amplitude_gain(tx, t0, block);
+    const double hop01 = scene.amplitude_gain(t0, t1, block);
+    (void)scene.amplitude_gain(t1, gw, block);
+    EXPECT_DOUBLE_EQ(hop01, scene.amplitude_gain(t1, t0, block));
+    const double hop12 = scene.amplitude_gain(t1, t2, block);
+    (void)scene.amplitude_gain(gw, t2, block);
+    EXPECT_DOUBLE_EQ(hop12, scene.amplitude_gain(t2, t1, block));
+    // Distinct pairs carry independent draws: the two hops of a relay
+    // chain must not share one shadowing realisation.
+    EXPECT_NE(scene.shadowing_db(t0, t1, block),
+              scene.shadowing_db(t1, t2, block));
+    EXPECT_NE(scene.shadowing_db(t0, t1, block),
+              scene.shadowing_db(t1, gw, block));
+  }
+}
+
+TEST(Scene, TagToTagShadowingRedrawsIndependentlyOfGatewayLinks) {
+  // Per-block redraws are keyed on (pair, block): a tag-tag link must
+  // change across coherence blocks, and its draw for a given block must
+  // not depend on which other links were queried first.
+  Scene s1(shadowed_model(6.0), 21);
+  Scene s2(shadowed_model(6.0), 21);
+  for (auto* s : {&s1, &s2}) {
+    s->add_device({"gw", DeviceKind::kReceiver, {0.0, 0.0}});
+    s->add_device({"t0", DeviceKind::kTag, {5.0, 0.0}});
+    s->add_device({"t1", DeviceKind::kTag, {11.0, 0.0}});
+  }
+  EXPECT_NE(s1.shadowing_db(1, 2, 0), s1.shadowing_db(1, 2, 1));
+  // s2 hammers gateway links first; the tag-tag draw is unmoved.
+  for (std::uint64_t block = 0; block < 8; ++block) {
+    (void)s2.amplitude_gain(0, 1, block);
+    (void)s2.amplitude_gain(0, 2, block);
+  }
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    EXPECT_DOUBLE_EQ(s1.amplitude_gain(1, 2, block),
+                     s2.amplitude_gain(1, 2, block));
+  }
+}
+
 TEST(Scene, ShadowingDisabledMatchesPlainPathloss) {
   Scene scene;  // sigma = 0
   const auto a = scene.add_device({"a", DeviceKind::kTag, {0.0, 0.0}});

@@ -1,0 +1,119 @@
+// MAC policy layer (mac/policy.hpp): the extracted per-slot decision
+// surface must be draw-exact against the historical inlined logic —
+// same Rng calls, same order, same values — and the factory must map
+// kinds faithfully.
+#include "mac/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/collision.hpp"
+#include "mac/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace fdb::mac {
+namespace {
+
+ContentionParams params() {
+  ContentionParams p;
+  p.timeout_slots = 8;
+  p.backoff_min_slots = 4;
+  p.backoff_max_exponent = 6;
+  return p;
+}
+
+TEST(MacPolicy, FactoryMapsKinds) {
+  MacPolicyParams mp;
+  mp.contention = params();
+  mp.num_tags = 4;
+  mp.frame_slots = 9;
+  for (const auto kind : {MacKind::kTimeout, MacKind::kCollisionNotify,
+                          MacKind::kScheduled}) {
+    const auto policy = make_mac_policy(kind, mp);
+    EXPECT_EQ(policy->kind(), kind);
+  }
+  EXPECT_STREQ(make_mac_policy(MacKind::kTimeout, mp)->name(), "timeout");
+  EXPECT_STREQ(make_mac_policy(MacKind::kCollisionNotify, mp)->name(),
+               "notify");
+  EXPECT_STREQ(make_mac_policy(MacKind::kScheduled, mp)->name(), "scheduled");
+}
+
+TEST(MacPolicy, FactoryRejectsDegenerateSchedules) {
+  MacPolicyParams mp;
+  mp.num_tags = 0;
+  mp.frame_slots = 9;
+  EXPECT_THROW(make_mac_policy(MacKind::kScheduled, mp),
+               std::invalid_argument);
+  mp.num_tags = 4;
+  mp.frame_slots = 0;
+  EXPECT_THROW(make_mac_policy(MacKind::kScheduled, mp),
+               std::invalid_argument);
+  // The contention kinds ignore the schedule geometry entirely.
+  EXPECT_NO_THROW(make_mac_policy(MacKind::kTimeout, mp));
+  EXPECT_NO_THROW(make_mac_policy(MacKind::kCollisionNotify, mp));
+}
+
+// The contention policies must reproduce mac::draw_backoff exactly:
+// initial wait at exponent 0, every later wait at the state's exponent,
+// one draw per call.
+TEST(MacPolicy, ContentionWaitsAreDrawExact) {
+  const auto p = params();
+  for (const auto kind : {MacKind::kTimeout, MacKind::kCollisionNotify}) {
+    const auto policy = make_mac_policy(kind, {.contention = p});
+    Rng via_policy(123);
+    Rng reference(123);
+    TagMacState st;
+
+    EXPECT_EQ(policy->initial_wait(0, st, via_policy),
+              draw_backoff(reference, p.backoff_min_slots, 0,
+                           p.backoff_max_exponent));
+    for (std::size_t exponent = 0; exponent < 9; ++exponent) {
+      st.exponent = exponent;
+      EXPECT_EQ(policy->next_wait(0, /*slot=*/17, st, via_policy),
+                draw_backoff(reference, p.backoff_min_slots, exponent,
+                             p.backoff_max_exponent));
+    }
+    // Identical residual streams: the policy consumed exactly one draw
+    // per call.
+    EXPECT_EQ(via_policy(), reference());
+  }
+}
+
+TEST(MacPolicy, VerdictWaitMatchesHistoricalDrains) {
+  auto p = params();
+  const auto timeout = make_mac_policy(MacKind::kTimeout, {.contention = p});
+  const auto notify =
+      make_mac_policy(MacKind::kCollisionNotify, {.contention = p});
+  EXPECT_EQ(timeout->verdict_wait_slots(), p.timeout_slots);
+  EXPECT_EQ(notify->verdict_wait_slots(), 1u);
+  EXPECT_FALSE(timeout->aborts_on_notify());
+  EXPECT_TRUE(notify->aborts_on_notify());
+
+  // timeout_slots == 0 historically clamped to a one-slot drain.
+  p.timeout_slots = 0;
+  const auto clamped = make_mac_policy(MacKind::kTimeout, {.contention = p});
+  EXPECT_EQ(clamped->verdict_wait_slots(), 1u);
+}
+
+TEST(MacPolicy, OutcomeHooksEvolveExponentLikeBeb) {
+  const auto policy =
+      make_mac_policy(MacKind::kCollisionNotify, {.contention = params()});
+  TagMacState st;
+  policy->on_outcome(0, /*delivered=*/false, st);
+  policy->on_outcome(0, /*delivered=*/false, st);
+  EXPECT_EQ(st.exponent, 2u);
+  policy->on_notify_abort(0, st);
+  EXPECT_EQ(st.exponent, 3u);
+  policy->on_outcome(0, /*delivered=*/true, st);
+  EXPECT_EQ(st.exponent, 0u);
+}
+
+TEST(MacPolicy, AbstractContentionSimRejectsScheduled) {
+  EXPECT_THROW(run_collision_sim(MacKind::kScheduled, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdb::mac

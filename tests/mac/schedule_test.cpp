@@ -1,0 +1,176 @@
+// Scheduled slotframe MAC (mac/schedule.hpp): cell geometry arithmetic,
+// ownership maps, and the ScheduledMac policy's counter conventions —
+// a counter of n from initial_wait fires in slot n-1, one from
+// next_wait at slot s fires in slot s+n, and both must land starts
+// exactly on owned cell boundaries without ever touching the Rng.
+#include "mac/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fdb::mac {
+namespace {
+
+TEST(Slotframe, GeometryAndPeriod) {
+  const Slotframe frame(/*cell_span_slots=*/9, /*dedicated_cells=*/5,
+                        /*shared_cells=*/2);
+  EXPECT_EQ(frame.num_cells(), 7u);
+  EXPECT_EQ(frame.slotframe_slots(), 63u);
+  EXPECT_THROW(Slotframe(0, 5, 2), std::invalid_argument);
+  EXPECT_THROW(Slotframe(9, 0, 2), std::invalid_argument);
+}
+
+TEST(Slotframe, NextCellStartWrapsThePeriod) {
+  const Slotframe frame(4, 3, 1);  // period 16, cell offsets 0,4,8,12
+  EXPECT_EQ(frame.next_cell_start(1, 0), 4u);
+  EXPECT_EQ(frame.next_cell_start(1, 4), 4u);   // inclusive at-or-after
+  EXPECT_EQ(frame.next_cell_start(1, 5), 20u);  // next occurrence
+  EXPECT_EQ(frame.next_cell_start(0, 1), 16u);
+  EXPECT_EQ(frame.next_cell_start(3, 100), 108u);
+}
+
+TEST(Slotframe, OwnershipMapsAreStableAndInRange) {
+  const Slotframe frame(9, 8, 3);
+  for (std::size_t tag = 0; tag < 64; ++tag) {
+    EXPECT_EQ(frame.dedicated_cell(tag), tag % 8);
+    const std::size_t shared = frame.shared_cell(tag);
+    EXPECT_GE(shared, 8u);
+    EXPECT_LT(shared, 11u);
+    EXPECT_EQ(shared, frame.shared_cell(tag));  // pure function of id
+  }
+  // The autonomous hash actually spreads consecutive ids.
+  std::set<std::size_t> cells;
+  for (std::size_t tag = 0; tag < 16; ++tag) cells.insert(frame.shared_cell(tag));
+  EXPECT_GT(cells.size(), 1u);
+}
+
+TEST(TagHash, DeterministicAndMixed) {
+  EXPECT_EQ(tag_hash(7), tag_hash(7));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 256; ++id) seen.insert(tag_hash(id));
+  EXPECT_EQ(seen.size(), 256u);  // no collisions among small ids
+}
+
+TEST(ScheduledMac, StartsLandOnOwnedDedicatedCells) {
+  const std::size_t span = 9;
+  const std::size_t n_tags = 5;
+  const ScheduledMac policy(Slotframe(span, n_tags, 2));
+  Rng rng(1);
+  for (std::size_t tag = 0; tag < n_tags; ++tag) {
+    TagMacState st;
+    // counter n fires in slot n-1: the first start is the tag's own
+    // cell offset, so no two fresh tags ever share a slot.
+    EXPECT_EQ(policy.initial_wait(tag, st, rng) - 1, tag * span);
+    // A delivered frame's next start is the same cell one period later.
+    const std::uint64_t slot = tag * span + span;  // verdict drain slot
+    const std::size_t wait = policy.next_wait(tag, slot, st, rng);
+    EXPECT_EQ(slot + wait, tag * span + policy.slotframe().slotframe_slots());
+  }
+}
+
+TEST(ScheduledMac, RetriesMoveToTheSharedCellAndBack) {
+  const std::size_t span = 4;
+  const Slotframe frame(span, 3, 2);
+  const ScheduledMac policy(frame);
+  Rng rng(1);
+  TagMacState st;
+  const std::size_t tag = 1;
+
+  policy.on_outcome(tag, /*delivered=*/false, st);
+  ASSERT_EQ(st.exponent, 1u);
+  const std::uint64_t slot = 10;
+  const std::size_t wait = policy.next_wait(tag, slot, st, rng);
+  const std::uint64_t start = slot + wait;
+  // The retry start is an occurrence of the tag's hash-keyed shared
+  // cell, strictly in the future.
+  EXPECT_EQ(start % frame.slotframe_slots(),
+            frame.shared_cell(tag) * span);
+  EXPECT_GT(start, slot);
+
+  policy.on_outcome(tag, /*delivered=*/true, st);
+  EXPECT_EQ(st.exponent, 0u);
+  const std::uint64_t fresh = slot + policy.next_wait(tag, slot, st, rng);
+  EXPECT_EQ(fresh % frame.slotframe_slots(),
+            frame.dedicated_cell(tag) * span);
+}
+
+TEST(ScheduledMac, RepeatLosersRetreatToTheirDedicatedCell) {
+  // Two tags hashed onto the same shared cell that fail in lockstep
+  // must not collide forever: the first retry rides the shared fast
+  // lane, but a second consecutive loss retreats to the tag's own
+  // contention-free cell, so a retry storm of any size drains within
+  // one slotframe period. Without the retreat a mass-failure event
+  // (e.g. a gateway outage) livelocks every loser in the shared cells
+  // after the fault clears.
+  const Slotframe frame(4, 8, 2);
+  const ScheduledMac policy(frame);
+  Rng rng(1);
+
+  // Find a hash-colliding pair among small ids.
+  std::size_t a = 0, b = 0;
+  bool found_pair = false;
+  for (std::size_t i = 0; i < 16 && !found_pair; ++i) {
+    for (std::size_t j = i + 1; j < 16 && !found_pair; ++j) {
+      if (frame.shared_cell(i) == frame.shared_cell(j)) {
+        a = i;
+        b = j;
+        found_pair = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found_pair);
+
+  const std::uint64_t slot = 10;
+  // First retry: both tags land on the same shared-cell occurrence —
+  // the deterministic collision the retreat exists to break.
+  TagMacState st_a{1};
+  TagMacState st_b{1};
+  EXPECT_EQ(slot + policy.next_wait(a, slot, st_a, rng),
+            slot + policy.next_wait(b, slot, st_b, rng));
+
+  // Second consecutive loss: each retreats to its own dedicated cell.
+  for (std::size_t exponent = 2; exponent <= 4; ++exponent) {
+    TagMacState deep_a{exponent};
+    TagMacState deep_b{exponent};
+    const std::uint64_t start_a =
+        slot + policy.next_wait(a, slot, deep_a, rng);
+    const std::uint64_t start_b =
+        slot + policy.next_wait(b, slot, deep_b, rng);
+    EXPECT_EQ(start_a % frame.slotframe_slots(),
+              frame.dedicated_cell(a) * 4);
+    EXPECT_EQ(start_b % frame.slotframe_slots(),
+              frame.dedicated_cell(b) * 4);
+    EXPECT_NE(start_a, start_b);  // distinct cells: the storm drains
+  }
+}
+
+TEST(ScheduledMac, NoSharedCellsFallsBackToDedicated) {
+  const Slotframe frame(4, 3, 0);
+  const ScheduledMac policy(frame);
+  Rng rng(1);
+  TagMacState st;
+  st.exponent = 3;
+  const std::uint64_t start = 2 + policy.next_wait(2, 2, st, rng);
+  EXPECT_EQ(start % frame.slotframe_slots(), frame.dedicated_cell(2) * 4);
+}
+
+TEST(ScheduledMac, NeverConsumesTheTrialRng) {
+  const ScheduledMac policy(Slotframe(9, 4, 2));
+  Rng used(42);
+  Rng untouched(42);
+  TagMacState st;
+  (void)policy.initial_wait(3, st, used);
+  st.exponent = 2;
+  (void)policy.next_wait(3, 57, st, used);
+  EXPECT_EQ(used(), untouched());  // identical residual stream
+  EXPECT_TRUE(policy.aborts_on_notify());
+  EXPECT_EQ(policy.verdict_wait_slots(), 1u);
+}
+
+}  // namespace
+}  // namespace fdb::mac

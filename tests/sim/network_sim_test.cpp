@@ -211,6 +211,22 @@ TEST(NetworkSimConfigValidation, RejectsNonPositiveTxPower) {
   EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
 }
 
+TEST(NetworkSimConfigValidation, RejectsZeroSlotsPerTrial) {
+  // Was a debug-only assert in the simulator; now a first-class
+  // rejection so Release builds fail loudly too.
+  auto config = small_config();
+  config.slots_per_trial = 0;
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+}
+
+TEST(NetworkSimConfigValidation, RejectsNegativeNotifySlope) {
+  auto config = small_config();
+  config.notify_slots_per_m = -0.25;  // would underflow the latency
+  EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
+  config.notify_slots_per_m = 0.0;  // the legacy flat latency stays valid
+  EXPECT_NO_THROW((void)NetworkSimulator(config));
+}
+
 TEST(NetworkSimConfigValidation, RejectsUnknownCarrierAndFading) {
   auto config = small_config();
   config.carrier = "wifi";  // the factory would silently pick ofdm_tv
@@ -220,6 +236,65 @@ TEST(NetworkSimConfigValidation, RejectsUnknownCarrierAndFading) {
   EXPECT_THROW((void)NetworkSimulator(config), std::invalid_argument);
   config.fading = "rician";  // all named arms stay accepted
   EXPECT_NO_THROW((void)NetworkSimulator(config));
+}
+
+// ---------------------------------------------------------------------
+// Scheduled slotframe MAC (mac/schedule.hpp) under the network engine
+// ---------------------------------------------------------------------
+
+TEST(NetworkSimScheduled, DedicatedCellsNeverCollide) {
+  // One dedicated cell per tag: fresh frames are contention-free by
+  // construction, so a clean static channel delivers everything.
+  auto config = small_config(6);
+  config.mac_kind = mac::MacKind::kScheduled;
+  const NetworkSimulator sim(config);
+  const auto s = sim.run(3);
+  EXPECT_EQ(s.collisions, 0u);
+  EXPECT_GT(s.frames_delivered(), 0u);
+  for (const auto& tag : s.tags) {
+    EXPECT_EQ(tag.frames_collided, 0u);
+    EXPECT_GT(tag.frames_attempted, 0u);
+  }
+}
+
+TEST(NetworkSimScheduled, BitIdenticalAcrossJobCounts) {
+  auto config = small_config(6);
+  config.mac_kind = mac::MacKind::kScheduled;
+  const NetworkSimulator sim(config);
+  const auto j1 = run_with_runner(sim, 5, 1);
+  const auto j8 = run_with_runner(sim, 5, 8);
+  expect_summaries_identical(j1, j8);
+}
+
+TEST(NetworkSimScheduled, BeatsContentionOnWasteInDenseScenario) {
+  // The schedule-vs-contention headline (gated again in e15): dense
+  // deployments waste airtime on collisions and timers under contention;
+  // the slotframe serializes them away.
+  auto scheduled_scenario = make_scenario("dense-deployment", 8, 3);
+  scheduled_scenario.config.slots_per_trial = 128;
+  scheduled_scenario.config.mac_kind = mac::MacKind::kScheduled;
+  auto notify_scenario = scheduled_scenario;
+  notify_scenario.config.mac_kind = mac::MacKind::kCollisionNotify;
+
+  const auto scheduled = NetworkSimulator(scheduled_scenario.config).run(2);
+  const auto notify = NetworkSimulator(notify_scenario.config).run(2);
+  EXPECT_LT(scheduled.wasted_airtime_fraction(),
+            notify.wasted_airtime_fraction());
+  EXPECT_EQ(scheduled.collisions, 0u);
+  EXPECT_GT(scheduled.frames_delivered(), 0u);
+}
+
+TEST(NetworkSimScheduled, UndersizedDedicatedSetContendsInSharedCells) {
+  // Fewer dedicated cells than tags: owners share cells, overlaps are
+  // real, and the policy's notify-abort path must engage (kScheduled
+  // honours collision notifications like the notify MAC).
+  auto config = small_config(6);
+  config.mac_kind = mac::MacKind::kScheduled;
+  config.sched_dedicated_cells = 2;  // 6 tags -> 3 owners per cell
+  config.sched_shared_cells = 1;
+  const NetworkSimulator sim(config);
+  const auto s = sim.run(3);
+  EXPECT_GT(s.collisions, 0u);
 }
 
 // ---------------------------------------------------------------------
