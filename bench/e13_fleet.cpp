@@ -15,6 +15,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <regex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -71,6 +73,28 @@ int main(int argc, char** argv) {
                                        "network trials per fleet arm");
   const fdb::sim::ExperimentRunner runner(cli.jobs);
 
+  // --stages: keep only matching arms, e8-style (exit 2 on a bad regex
+  // or an empty selection). Arm names: "<tags>/<mode>" for the timing
+  // sweep, "agreement/<scenario>", "stage-breakdown/<mode>".
+  const bool have_filter = !cli.stages_filter.empty();
+  std::regex stage_re;
+  if (have_filter) {
+    try {
+      stage_re = std::regex(cli.stages_filter);
+    } catch (const std::regex_error& err) {
+      std::fprintf(stderr, "%s: bad --stages regex '%s': %s\n", argv[0],
+                   cli.stages_filter.c_str(), err.what());
+      return 2;
+    }
+  }
+  std::size_t matched = 0;
+  const auto selected = [&](const std::string& name) {
+    if (!have_filter) return true;
+    if (!std::regex_search(name, stage_re)) return false;
+    ++matched;
+    return true;
+  };
+
   fdb::sim::Report report("e13_fleet");
   report.set_run_info(cli.trials, runner.jobs());
 
@@ -87,6 +111,10 @@ int main(int argc, char** argv) {
   for (const SceneSize& size : sizes) {
     double waveform_rate = 0.0;
     for (const FidelityMode mode : modes) {
+      if (!selected(std::to_string(size.tags) + "/" +
+                    fdb::sim::fidelity_name(mode))) {
+        continue;
+      }
       const auto config = warehouse(size.tags, size.slots_per_trial, mode);
       const auto run = run_timed(runner, config, cli.trials);
       const auto& s = run.summary;
@@ -125,6 +153,37 @@ int main(int argc, char** argv) {
     for (auto& row : stats_rows) stats.add_row(std::move(row));
   }
 
+  // Where does a 10k-tag trial actually spend its time? Serial runs
+  // with the TrialStageTimes accumulator (pure measurement — the
+  // summaries are bit-identical with or without it); excluded from the
+  // determinism gates like every [wall-clock] section.
+  {
+    std::vector<std::vector<fdb::sim::ReportCell>> stage_rows;
+    for (const FidelityMode mode : modes) {
+      const std::string arm =
+          std::string("stage-breakdown/") + fdb::sim::fidelity_name(mode);
+      if (!selected(arm)) continue;
+      const auto config = warehouse(10000, 24, mode);
+      const fdb::sim::NetworkSimulator sim(config);
+      fdb::sim::SynthArena arena;
+      fdb::sim::TrialStageTimes st;
+      fdb::sim::NetworkSimSummary sum;
+      for (std::size_t t = 0; t < cli.trials; ++t) {
+        sum.add(sim.run_trial(t, arena, &st));
+      }
+      stage_rows.push_back({std::size_t{10000},
+                            fdb::sim::fidelity_name(mode), cli.trials,
+                            st.setup_s * 1e3, st.slot_loop_s * 1e3,
+                            st.verdict_s * 1e3, st.escalate_s * 1e3,
+                            st.total_s() * 1e3});
+    }
+    auto& stage_sec = report.section(
+        "trial stage breakdown, 10k tags, serial [wall-clock]",
+        {"tags", "mode", "trials", "setup_ms", "slot_loop_ms", "verdict_ms",
+         "escalate_ms", "total_ms"});
+    for (auto& row : stage_rows) stage_sec.add_row(std::move(row));
+  }
+
   // Cross-fidelity agreement at a size the waveform path can still
   // afford: the hybrid engine must tell the same network story.
   auto& agree = report.section(
@@ -133,6 +192,7 @@ int main(int argc, char** argv) {
        "coll_hybrid", "latency_waveform", "latency_hybrid",
        "escalation_rate"});
   for (const char* name : {"warehouse-10k", "city-block"}) {
+    if (!selected(std::string("agreement/") + name)) continue;
     auto scenario = fdb::sim::make_scenario(name, 100, 29);
     scenario.config.slots_per_trial = 96;
     scenario.config.fleet.fidelity = FidelityMode::kWaveform;
@@ -159,8 +219,13 @@ int main(int argc, char** argv) {
       "sample-level in hybrid mode (tests/sim/cross_fidelity_test.cpp "
       "pins clear verdicts to ground truth frame-for-frame).");
   report.add_note(
-      "The [wall-clock] section is excluded from the jobs-1-vs-8 "
+      "The [wall-clock] sections are excluded from the jobs-1-vs-8 "
       "determinism gate; all other sections are bit-identical at any "
       "--jobs.");
+  if (have_filter && matched == 0) {
+    std::fprintf(stderr, "%s: --stages '%s' matched no arm\n", argv[0],
+                 cli.stages_filter.c_str());
+    return 2;
+  }
   return report.emit(cli) ? 0 : 1;
 }

@@ -139,13 +139,20 @@ CullingGrid::CullingGrid(std::span<const channel::Vec2> points,
 std::vector<std::uint32_t> CullingGrid::within(channel::Vec2 center,
                                                double radius_m) const {
   std::vector<std::uint32_t> hits;
-  if (points_.empty() || !(radius_m > 0.0)) return hits;
+  within_into(center, radius_m, hits);
+  return hits;
+}
+
+void CullingGrid::within_into(channel::Vec2 center, double radius_m,
+                              std::vector<std::uint32_t>& hits) const {
+  hits.clear();
+  if (points_.empty() || !(radius_m > 0.0)) return;
   if (std::isinf(radius_m)) {
     hits.resize(points_.size());
     for (std::size_t i = 0; i < hits.size(); ++i) {
       hits[i] = static_cast<std::uint32_t>(i);
     }
-    return hits;
+    return;
   }
   const auto clamp_bin = [](double v, std::size_t n) {
     if (v < 0.0) return std::size_t{0};
@@ -175,7 +182,6 @@ std::vector<std::uint32_t> CullingGrid::within(channel::Vec2 center,
   // Bin scan emits row-major bin order, not index order: one sort keeps
   // the determinism contract for callers that iterate the result.
   std::sort(hits.begin(), hits.end());
-  return hits;
 }
 
 }  // namespace fdb::sim

@@ -160,6 +160,12 @@ class CullingGrid {
   std::vector<std::uint32_t> within(channel::Vec2 center,
                                     double radius_m) const;
 
+  /// `within`, but clears and fills a caller-owned buffer so repeated
+  /// queries (relay topology build, per-gateway culling) reuse one
+  /// allocation instead of paying a heap round-trip per query.
+  void within_into(channel::Vec2 center, double radius_m,
+                   std::vector<std::uint32_t>& out) const;
+
   std::size_t num_points() const { return points_.size(); }
 
  private:

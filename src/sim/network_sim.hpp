@@ -379,26 +379,60 @@ struct NetworkSimSummary {
   }
 };
 
+/// Wall-clock decomposition of trial time, accumulated only when a
+/// caller passes one to run_trial (e13's stage-breakdown section).
+/// Pure measurement: results are bit-identical with or without it.
+struct TrialStageTimes {
+  double setup_s = 0.0;      ///< per-trial channel/MAC/arena table builds
+  double slot_loop_s = 0.0;  ///< slot engine excl. verdicts/escalation
+  double verdict_s = 0.0;    ///< frame resolution excl. escalation
+  double escalate_s = 0.0;   ///< escalated synthesis + decode (kHybrid)
+
+  void merge(const TrialStageTimes& other) {
+    setup_s += other.setup_s;
+    slot_loop_s += other.slot_loop_s;
+    verdict_s += other.verdict_s;
+    escalate_s += other.escalate_s;
+  }
+  double total_s() const {
+    return setup_s + slot_loop_s + verdict_s + escalate_s;
+  }
+};
+
 class NetworkSimulator {
  public:
   /// Throws std::invalid_argument when config.validate() does.
   explicit NetworkSimulator(NetworkSimConfig config);
 
-  /// Runs one network trial. Pure with respect to the simulator: all
-  /// randomness (backoffs, payloads, channel draws, noise) derives from
-  /// Rng::substream(config.seed, trial_index) inside the call and no
-  /// member state is touched, so disjoint trials are safe to run
-  /// concurrently on one simulator and results are independent of
-  /// thread assignment. Synthesis scratch comes from a per-thread
-  /// SynthArena, so steady-state trials do not allocate in the
-  /// sample-domain hot path.
+  /// Runs one network trial on the active-set slot engine. Pure with
+  /// respect to the simulator: all randomness (backoffs, payloads,
+  /// channel draws, noise) derives from Rng::substream(config.seed,
+  /// trial_index) inside the call and no member state is touched, so
+  /// disjoint trials are safe to run concurrently on one simulator and
+  /// results are independent of thread assignment. Synthesis scratch
+  /// comes from a per-thread SynthArena, so steady-state trials do not
+  /// allocate in the sample-domain hot path.
   NetworkTrialResult run_trial(std::uint64_t trial_index) const;
 
   /// As above with caller-provided synthesis scratch: the arena is
   /// reset on entry and only grows during warm-up. One arena per
-  /// concurrent caller — the arena itself is not thread-safe.
-  NetworkTrialResult run_trial(std::uint64_t trial_index,
-                               SynthArena& arena) const;
+  /// concurrent caller — the arena itself is not thread-safe. When
+  /// `stages` is non-null the trial's wall-clock stage breakdown is
+  /// accumulated into it (results are unaffected).
+  NetworkTrialResult run_trial(std::uint64_t trial_index, SynthArena& arena,
+                               TrialStageTimes* stages = nullptr) const;
+
+  /// The retained per-slot reference engine: every slot scans all tags
+  /// (MAC countdown decrements, full energy sweep, interference-sum
+  /// rows) exactly as the pre-active-set simulator did. Same purity and
+  /// determinism contracts as run_trial, and bit-identical results —
+  /// tests/sim/active_set_test.cpp pins the two engines EXPECT_EQ
+  /// across scenario x MAC x fault x energy-gating configs.
+  NetworkTrialResult run_trial_reference(std::uint64_t trial_index) const;
+  NetworkTrialResult run_trial_reference(std::uint64_t trial_index,
+                                         SynthArena& arena,
+                                         TrialStageTimes* stages =
+                                             nullptr) const;
 
   /// Runs trials [0, n) serially and aggregates. Equivalent trial-set
   /// to ExperimentRunner::run_chunked at any job count.
@@ -454,6 +488,16 @@ class NetworkSimulator {
   const RelayTopology& relay_topology() const { return relay_topo_; }
 
  private:
+  /// Both engines share one templated trial body; `ActiveSet` selects
+  /// the wake-bucket/event-driven machinery (true, run_trial) or the
+  /// historical per-slot scans (false, run_trial_reference) at the few
+  /// points where they differ. Everything else — RNG draw order, frame
+  /// resolution, fault handling — is literally the same code.
+  template <bool ActiveSet>
+  NetworkTrialResult run_trial_impl(std::uint64_t trial_index,
+                                    SynthArena& arena,
+                                    TrialStageTimes* stages) const;
+
   NetworkSimConfig config_;
   channel::Scene scene_;
   std::size_t ambient_device_ = 0;
@@ -487,6 +531,37 @@ class NetworkSimulator {
   // Relaying (sim/relay.hpp): hop levels + parent candidates, built
   // from the culling result at construction.
   RelayTopology relay_topo_;
+
+  // Harvest fractions of each tag's modulator (idle = absorb state,
+  // active = mean of the two switch positions) — trial-invariant in
+  // every mode, precomputed so the energy path stops re-asking the
+  // modulator per (tag, slot).
+  std::vector<double> hf_idle_;
+  std::vector<double> hf_act_;
+
+  // Static-channel cache: with static fading and shadowing disabled
+  // every per-trial channel quantity is trial-invariant (StaticFading
+  // consumes no randomness and Scene::amplitude_gain no longer depends
+  // on the coherence block), so the gain/coupling/swing tables and the
+  // per-slot harvest increments are computed once at construction by
+  // the same expressions the per-trial build uses. Trials point spans
+  // at these vectors instead of rebuilding them — bit-identical values
+  // and zero RNG draws skipped.
+  bool static_channel_ = false;
+  std::vector<cf32> st_h_sr_;      ///< ambient -> gateway leakage
+  std::vector<cf32> st_h_st_;      ///< ambient -> tag (incl. tx power)
+  std::vector<cf32> st_h_tr_;      ///< tag -> gateway, tag-major
+  std::vector<cf32> st_coup_on_;   ///< composed reflect coupling
+  std::vector<cf32> st_coup_off_;  ///< composed absorb coupling
+  std::vector<float> st_delta_;    ///< per-(tag, gw) envelope swing
+  std::vector<float> st_half_;     ///< in-range-masked half swings (SoA)
+  std::vector<float> st_delta_tt_;      ///< tag-tag relay swings
+  std::vector<std::size_t> st_serving_; ///< best-link gateway per tag
+  std::vector<double> st_h_idle_;  ///< per-slot idle harvest increment
+  std::vector<double> st_h_act_;   ///< per-slot reflecting increment
+  /// Full-trial fold of slots_per_trial idle harvest adds per tag: the
+  /// harvested_j of a tag that never transmits, in one lookup.
+  std::vector<double> st_idle_sum_;
 };
 
 }  // namespace fdb::sim

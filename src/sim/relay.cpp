@@ -54,11 +54,12 @@ RelayTopology::RelayTopology(std::span<const channel::Vec2> positions,
   // is index-ascending, so the result is deterministic.
   const CullingGrid grid(positions, grid_cell_m);
   const std::size_t max_level = config.max_hops - 1;
+  std::vector<std::uint32_t> near;
   for (std::size_t lvl = 1; lvl <= max_level; ++lvl) {
     bool grew = false;
     for (std::size_t k = 0; k < n; ++k) {
       if (level_[k] != kUnreachable) continue;
-      const auto near = grid.within(positions[k], config.range_m);
+      grid.within_into(positions[k], config.range_m, near);
       for (const std::uint32_t p : near) {
         if (level_[p] == lvl - 1) {
           level_[k] = lvl;
@@ -77,7 +78,8 @@ RelayTopology::RelayTopology(std::span<const channel::Vec2> positions,
     off_[k] = static_cast<std::uint32_t>(flat_.size());
     if (level_[k] == 0 || level_[k] == kUnreachable) continue;
     ranked.clear();
-    for (const std::uint32_t p : grid.within(positions[k], config.range_m)) {
+    grid.within_into(positions[k], config.range_m, near);
+    for (const std::uint32_t p : near) {
       if (p == k || level_[p] != level_[k] - 1) continue;
       ranked.emplace_back(channel::distance_m(positions[k], positions[p]), p);
     }

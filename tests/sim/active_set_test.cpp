@@ -1,0 +1,238 @@
+// Bit-identity goldens for the active-set slot engine. run_trial()
+// drives the wake-bucket/event-driven machinery; run_trial_reference()
+// keeps the historical per-slot scans alive as the oracle. The two must
+// produce EXPECT_EQ-identical summaries — not approximately equal —
+// across scenario x MAC x fault x energy-gating configs, at --jobs 1
+// and 8, because they share every RNG draw: a single divergent wake
+// slot or draw-order swap shows up as a hard counter mismatch here.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/network_sim.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenarios.hpp"
+
+namespace fdb::sim {
+namespace {
+
+NetworkSimSummary run_active(const NetworkSimulator& sim, std::size_t trials,
+                             std::size_t jobs) {
+  const ExperimentRunner runner(jobs);
+  return runner.run_chunked<NetworkSimSummary>(
+      trials, [&sim](NetworkSimSummary& acc, std::size_t trial) {
+        acc.add(sim.run_trial(trial));
+      });
+}
+
+NetworkSimSummary run_reference(const NetworkSimulator& sim,
+                                std::size_t trials) {
+  NetworkSimSummary acc;
+  for (std::size_t t = 0; t < trials; ++t) {
+    acc.add(sim.run_trial_reference(t));
+  }
+  return acc;
+}
+
+void expect_summaries_identical(const NetworkSimSummary& a,
+                                const NetworkSimSummary& b) {
+  ASSERT_EQ(a.tags.size(), b.tags.size());
+  ASSERT_EQ(a.gateway_decodes.size(), b.gateway_decodes.size());
+  for (std::size_t g = 0; g < a.gateway_decodes.size(); ++g) {
+    EXPECT_EQ(a.gateway_decodes[g], b.gateway_decodes[g]);
+  }
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.busy_slots, b.busy_slots);
+  EXPECT_EQ(a.useful_slots, b.useful_slots);
+  EXPECT_EQ(a.wasted_slots, b.wasted_slots);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.sync_failures, b.sync_failures);
+  EXPECT_EQ(a.frames_resolved_analytic, b.frames_resolved_analytic);
+  EXPECT_EQ(a.frames_escalated, b.frames_escalated);
+  EXPECT_EQ(a.frames_culled, b.frames_culled);
+  EXPECT_EQ(a.faulted_frames_attempted, b.faulted_frames_attempted);
+  EXPECT_EQ(a.faulted_frames_delivered, b.faulted_frames_delivered);
+  EXPECT_EQ(a.frames_lost_outage, b.frames_lost_outage);
+  EXPECT_EQ(a.frames_lost_sag, b.frames_lost_sag);
+  EXPECT_EQ(a.frames_lost_interference, b.frames_lost_interference);
+  EXPECT_EQ(a.frames_lost_tag_fault, b.frames_lost_tag_fault);
+  EXPECT_EQ(a.relay_tx_frames, b.relay_tx_frames);
+  EXPECT_EQ(a.relay_rx_frames, b.relay_rx_frames);
+  EXPECT_EQ(a.relayed_delivered, b.relayed_delivered);
+  EXPECT_EQ(a.detect_latency_slots.count(), b.detect_latency_slots.count());
+  // Bit-identical, not approximately equal: the merge tree is fixed.
+  EXPECT_EQ(a.detect_latency_slots.mean(), b.detect_latency_slots.mean());
+  EXPECT_EQ(a.detect_latency_slots.variance(),
+            b.detect_latency_slots.variance());
+  for (std::size_t k = 0; k < a.tags.size(); ++k) {
+    EXPECT_EQ(a.tags[k].frames_attempted, b.tags[k].frames_attempted)
+        << "tag " << k;
+    EXPECT_EQ(a.tags[k].frames_delivered, b.tags[k].frames_delivered)
+        << "tag " << k;
+    EXPECT_EQ(a.tags[k].frames_collided, b.tags[k].frames_collided)
+        << "tag " << k;
+    EXPECT_EQ(a.tags[k].frames_aborted, b.tags[k].frames_aborted)
+        << "tag " << k;
+    EXPECT_EQ(a.tags[k].payload_bits_delivered,
+              b.tags[k].payload_bits_delivered)
+        << "tag " << k;
+    EXPECT_EQ(a.tags[k].energy_outages, b.tags[k].energy_outages)
+        << "tag " << k;
+    EXPECT_EQ(a.tags[k].harvested_j, b.tags[k].harvested_j) << "tag " << k;
+    EXPECT_EQ(a.tags[k].spent_j, b.tags[k].spent_j) << "tag " << k;
+  }
+}
+
+/// Runs the reference oracle serially and the active-set engine at
+/// jobs 1 and 8, and pins all three summaries EXPECT_EQ-identical.
+void expect_engines_agree(const NetworkSimConfig& config,
+                          std::size_t trials = 3) {
+  const NetworkSimulator sim(config);
+  const auto ref = run_reference(sim, trials);
+  {
+    SCOPED_TRACE("active jobs=1 vs reference");
+    expect_summaries_identical(run_active(sim, trials, 1), ref);
+  }
+  {
+    SCOPED_TRACE("active jobs=8 vs reference");
+    expect_summaries_identical(run_active(sim, trials, 8), ref);
+  }
+}
+
+// ----- scenario x MAC x fault x energy-gating golden matrix ----------
+
+TEST(ActiveSetEngine, EnergyStarvedGatedMatchesReference) {
+  auto scenario = make_scenario("energy-starved", 12, 17);
+  scenario.config.slots_per_trial = 128;
+  ASSERT_TRUE(scenario.config.energy_gating)
+      << "scenario should exercise the gated wake path";
+  expect_engines_agree(scenario.config);
+}
+
+TEST(ActiveSetEngine, FadingSweepWithFaultsMatchesReference) {
+  auto scenario = make_scenario("fading-sweep", 10, 23);
+  scenario.config.slots_per_trial = 128;
+  scenario.config.faults.intensity = 0.2;
+  expect_engines_agree(scenario.config);
+}
+
+TEST(ActiveSetEngine, WarehouseMeshRelayScheduledMatchesReference) {
+  auto scenario = make_scenario("warehouse-mesh", 24, 31);
+  scenario.config.slots_per_trial = 160;
+  ASSERT_TRUE(scenario.config.relay.enabled);
+  ASSERT_EQ(scenario.config.mac_kind, mac::MacKind::kScheduled);
+  expect_engines_agree(scenario.config);
+}
+
+TEST(ActiveSetEngine, DenseNotifyAbortMatchesReference) {
+  auto scenario = make_scenario("dense-deployment", 16, 7);
+  scenario.config.slots_per_trial = 128;
+  scenario.config.mac_kind = mac::MacKind::kCollisionNotify;
+  // Distance-dependent notification latency exercises the mid-frame
+  // abort -> backoff reschedule transition under the wake buckets.
+  scenario.config.notify_slots_per_m = 0.5;
+  expect_engines_agree(scenario.config);
+}
+
+TEST(ActiveSetEngine, TimeoutMacMatchesReference) {
+  auto scenario = make_scenario("near-far", 8, 11);
+  scenario.config.slots_per_trial = 128;
+  scenario.config.mac_kind = mac::MacKind::kTimeout;
+  expect_engines_agree(scenario.config);
+}
+
+TEST(ActiveSetEngine, HybridAndAnalyticFleetModesMatchReference) {
+  for (const FidelityMode mode :
+       {FidelityMode::kAnalytic, FidelityMode::kHybrid}) {
+    SCOPED_TRACE(fidelity_name(mode));
+    auto scenario = make_scenario("warehouse-10k", 300, 29);
+    scenario.config.slots_per_trial = 48;
+    scenario.config.fleet.fidelity = mode;
+    expect_engines_agree(scenario.config, 2);
+  }
+}
+
+TEST(ActiveSetEngine, BestGatewayFailoverMatchesReference) {
+  auto scenario = make_scenario("gateway-handoff-line", 10, 13);
+  scenario.config.slots_per_trial = 160;
+  scenario.config.combining = GatewayCombining::kBestGateway;
+  scenario.config.failover_streak_frames = 2;
+  scenario.config.faults.intensity = 0.3;  // make links actually die
+  expect_engines_agree(scenario.config);
+}
+
+// ----- wake-bucket edge cases ----------------------------------------
+
+/// Tight contention window: backoff_min_slots = 1 with a zero-exponent
+/// cap makes every backoff draw land in {0}..{1}, so initial waits of 0
+/// fire in slot 0 and whole cohorts wake in the same bucket.
+TEST(ActiveSetEngine, ZeroWaitAndSimultaneousWakeStorm) {
+  NetworkSimConfig config;
+  config.payload_bytes = 32;
+  config.slots_per_trial = 96;
+  config.ambient_position = {0.0, 0.0};
+  config.receiver_position = {5.0, 0.0};
+  for (std::size_t k = 0; k < 12; ++k) {
+    NetworkTagConfig tag;
+    tag.position = {5.0 + 0.4 * static_cast<double>(k % 4),
+                    0.5 + 0.3 * static_cast<double>(k)};
+    config.tags.push_back(tag);
+  }
+  config.backoff_min_slots = 1;
+  config.backoff_max_exponent = 0;
+  config.seed = 41;
+  for (const auto kind :
+       {mac::MacKind::kTimeout, mac::MacKind::kCollisionNotify}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    config.mac_kind = kind;
+    expect_engines_agree(config, 4);
+  }
+}
+
+/// Immediate notifications force aborts right after frame start: the
+/// active engine must cancel the stale verdict wake and reschedule the
+/// tag's backoff wake without double-firing either event.
+TEST(ActiveSetEngine, NotifyAbortRescheduleMatchesReference) {
+  NetworkSimConfig config;
+  config.payload_bytes = 32;
+  config.slots_per_trial = 96;
+  config.ambient_position = {0.0, 0.0};
+  config.receiver_position = {5.0, 0.0};
+  for (std::size_t k = 0; k < 8; ++k) {
+    NetworkTagConfig tag;
+    tag.position = {5.5, 0.5 + 0.25 * static_cast<double>(k)};
+    config.tags.push_back(tag);
+  }
+  config.mac_kind = mac::MacKind::kCollisionNotify;
+  config.notify_delay_slots = 1;  // abort in the first overlap slot
+  config.backoff_min_slots = 2;
+  config.seed = 43;
+  expect_engines_agree(config, 4);
+}
+
+/// Trial-boundary parking: waits that cannot complete before the trial
+/// ends park the tag (counter pinned past the horizon) instead of
+/// scheduling a wake, and the end-of-trial energy fast-forward must
+/// still account every idle slot.
+TEST(ActiveSetEngine, EndOfTrialParkingMatchesReference) {
+  NetworkSimConfig config;
+  config.payload_bytes = 64;  // long frames vs a short horizon
+  config.slots_per_trial = 24;
+  config.ambient_position = {0.0, 0.0};
+  config.receiver_position = {5.0, 0.0};
+  for (std::size_t k = 0; k < 6; ++k) {
+    NetworkTagConfig tag;
+    tag.position = {6.0, 0.5 + 0.5 * static_cast<double>(k)};
+    config.tags.push_back(tag);
+  }
+  config.backoff_min_slots = 8;
+  config.backoff_max_exponent = 3;
+  config.seed = 47;
+  expect_engines_agree(config, 4);
+}
+
+}  // namespace
+}  // namespace fdb::sim

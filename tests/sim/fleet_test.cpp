@@ -218,6 +218,34 @@ TEST(CullingGrid, EmptyPointSet) {
   EXPECT_TRUE(grid.within({0.0, 0.0}, kInf).empty());
 }
 
+TEST(CullingGrid, WithinIntoMatchesWithinAndReusesBuffer) {
+  Rng rng(0xfeed);
+  std::vector<channel::Vec2> points(250);
+  for (auto& p : points) {
+    p = {rng.uniform(-60.0, 60.0), rng.uniform(-40.0, 40.0)};
+  }
+  const CullingGrid grid(points, 4.0);
+  // One buffer across queries of wildly different sizes: within_into
+  // must clear stale contents and produce exactly within()'s result,
+  // including the infinite-radius and no-hit special cases.
+  std::vector<std::uint32_t> buf{999, 999, 999};
+  for (const double radius : {0.1, 5.0, 30.0, 200.0, kInf}) {
+    for (int q = 0; q < 5; ++q) {
+      const channel::Vec2 center{rng.uniform(-80.0, 80.0),
+                                 rng.uniform(-60.0, 60.0)};
+      grid.within_into(center, radius, buf);
+      EXPECT_EQ(buf, grid.within(center, radius))
+          << "radius=" << radius << " q=" << q;
+    }
+  }
+  grid.within_into({1000.0, 1000.0}, 0.5, buf);
+  EXPECT_TRUE(buf.empty());
+  const CullingGrid empty_grid({}, 4.0);
+  buf.assign(4, 7);
+  empty_grid.within_into({0.0, 0.0}, kInf, buf);
+  EXPECT_TRUE(buf.empty());
+}
+
 TEST(CullingGrid, ResultsIndependentOfCellSize) {
   // The cell size is a tiling knob only: any legal value yields the
   // same hit set.

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "sim/link_sim.hpp"
@@ -359,6 +360,28 @@ TEST(SynthesisNoAlloc, NetworkTrialArenaCapacityStableAfterWarmup) {
   for (std::uint64_t t = 2; t < 6; ++t) {
     (void)sim.run_trial(t, arena);
     EXPECT_EQ(arena.capacity_bytes(), warm) << "trial " << t;
+  }
+}
+
+TEST(SynthesisNoAlloc, HybridTrialArenaCapacityStableAfterWarmup) {
+  // The hybrid escalation cache is chunk-lazy: a trial only carves the
+  // esc_cache chunks its contested windows actually touch. Capacity
+  // must still go flat once the deepest trial has been seen — chunks
+  // are arena-backed, so reset() coalesces them like any other scratch.
+  auto scenario = make_scenario("warehouse-10k", 200, 29);
+  scenario.config.slots_per_trial = 48;
+  scenario.config.fleet.fidelity = FidelityMode::kHybrid;
+  const NetworkSimulator sim(scenario.config);
+  SynthArena arena;
+  std::size_t warm = 0;
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    (void)sim.run_trial(t, arena);
+    warm = std::max(warm, arena.capacity_bytes());
+  }
+  EXPECT_GT(warm, 0u);
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    (void)sim.run_trial(t, arena);
+    EXPECT_EQ(arena.capacity_bytes(), warm) << "replay trial " << t;
   }
 }
 
